@@ -1,0 +1,211 @@
+// Package oooback's root benchmark harness: one benchmark per paper table /
+// figure (regenerating it end to end on the simulators), plus micro-benchmarks
+// of the scheduling algorithms and substrates.
+//
+// Run with: go test -bench=. -benchmem
+package oooback
+
+import (
+	"testing"
+	"time"
+
+	"oooback/internal/core"
+	"oooback/internal/datapar"
+	"oooback/internal/experiments"
+	"oooback/internal/gpusim"
+	"oooback/internal/graph"
+	"oooback/internal/models"
+	"oooback/internal/netsim"
+	"oooback/internal/pipepar"
+	"oooback/internal/sim"
+	"oooback/internal/singlegpu"
+	"oooback/internal/tensor"
+)
+
+// benchExperiment wraps a registered experiment as a benchmark.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.Get(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = e.Run()
+	}
+	if len(out) == 0 {
+		b.Fatal("empty report")
+	}
+}
+
+// One benchmark per table/figure of the paper's evaluation.
+func BenchmarkFig1KernelIssueOverhead(b *testing.B)  { benchExperiment(b, "fig1") }
+func BenchmarkFig2IssueTimeline(b *testing.B)        { benchExperiment(b, "fig2") }
+func BenchmarkFig4DataParallelTimeline(b *testing.B) { benchExperiment(b, "fig4") }
+func BenchmarkFig5CrossLayerMP(b *testing.B)         { benchExperiment(b, "fig5") }
+func BenchmarkFig6MicroBatchPipeline(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkFig7SingleGPU(b *testing.B)            { benchExperiment(b, "fig7") }
+func BenchmarkFig8TwoStreamSchedule(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkFig9MemoryProfile(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig10DataParallel(b *testing.B)        { benchExperiment(b, "fig10") }
+func BenchmarkFig11aFineTuning(b *testing.B)         { benchExperiment(b, "fig11a") }
+func BenchmarkFig11bInterconnects(b *testing.B)      { benchExperiment(b, "fig11b") }
+func BenchmarkFig12PipelineTimeline(b *testing.B)    { benchExperiment(b, "fig12") }
+func BenchmarkFig13aWeakScaling(b *testing.B)        { benchExperiment(b, "fig13a") }
+func BenchmarkFig13bStrongScaling(b *testing.B)      { benchExperiment(b, "fig13b") }
+func BenchmarkMemSingleGPU(b *testing.B)             { benchExperiment(b, "mem-single") }
+func BenchmarkDiscussionDataParallel(b *testing.B)   { benchExperiment(b, "disc-datapar") }
+func BenchmarkSemanticsCheck(b *testing.B)           { benchExperiment(b, "semantics") }
+
+// Ablations of the design choices DESIGN.md calls out, plus the extra
+// §8.4.2 baselines (DAPPLE, Megatron-style interleaving).
+func BenchmarkBaselinesPipeline(b *testing.B)         { benchExperiment(b, "baselines-pipe") }
+func BenchmarkAblationRegionGranularity(b *testing.B) { benchExperiment(b, "ablation-regions") }
+func BenchmarkAblationKSweep(b *testing.B)            { benchExperiment(b, "ablation-ksweep") }
+func BenchmarkAblationModuloGranularity(b *testing.B) { benchExperiment(b, "ablation-modulo") }
+func BenchmarkAblationStaleness(b *testing.B)         { benchExperiment(b, "ablation-staleness") }
+func BenchmarkHybridCombinedScheduling(b *testing.B)  { benchExperiment(b, "hybrid") }
+func BenchmarkRecomputeCompat(b *testing.B)           { benchExperiment(b, "recompute") }
+func BenchmarkSec7MultiStreamMemory(b *testing.B)     { benchExperiment(b, "sec7-memory") }
+func BenchmarkBFCFragmentation(b *testing.B)          { benchExperiment(b, "bfc-fragmentation") }
+func BenchmarkCrossValidation(b *testing.B)           { benchExperiment(b, "crossval") }
+func BenchmarkOptimizerTrend(b *testing.B)            { benchExperiment(b, "optimizers") }
+func BenchmarkXLAFusionPass(b *testing.B)             { benchExperiment(b, "xla-fusion") }
+func BenchmarkExtBidirectional(b *testing.B)          { benchExperiment(b, "ext-bidirectional") }
+func BenchmarkMemPipeline(b *testing.B)               { benchExperiment(b, "mem-pipeline") }
+func BenchmarkAblationBucketing(b *testing.B)         { benchExperiment(b, "ablation-bucketing") }
+func BenchmarkHybridSingleData(b *testing.B)          { benchExperiment(b, "hybrid-single-data") }
+
+// Micro-benchmarks of the core scheduling algorithms.
+
+func BenchmarkReverseFirstK(b *testing.B) {
+	m := models.ResNet(models.V100Profile(), 101, 64, models.ImageNet)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ReverseFirstK(m, 40, 16<<30)
+	}
+}
+
+func BenchmarkSearchK(b *testing.B) {
+	m := models.ResNet(models.V100Profile(), 50, 128, models.ImageNet)
+	c := datapar.Costs(m, datapar.PubA(), 16, datapar.BytePS)
+	prio := func(l int) int { return l }
+	L := len(m.Layers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SearchK(L, func(k int) float64 {
+			r := core.SimulateIteration(c, core.ReverseFirstK(m, k, 0), prio, true)
+			return core.Throughput(r.Makespan, m.Batch)
+		})
+	}
+}
+
+func BenchmarkMultiRegionJoint(b *testing.B) {
+	m := models.DenseNet(models.V100Profile(), 121, 32, 64, models.ImageNet)
+	gpu := gpusim.V100()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		singlegpu.Run(m, singlegpu.OOOXLA(), gpu)
+	}
+}
+
+func BenchmarkListSchedule(b *testing.B) {
+	m := models.ResNet(models.V100Profile(), 50, 64, models.ImageNet)
+	c := datapar.Costs(m, datapar.PubA(), 16, datapar.BytePS)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ListSchedule(c)
+	}
+}
+
+func BenchmarkSimulateIteration(b *testing.B) {
+	m := models.ResNet(models.V100Profile(), 152, 64, models.ImageNet)
+	c := datapar.Costs(m, datapar.PubA(), 32, datapar.BytePS)
+	order := graph.Conventional(len(m.Layers))
+	prio := func(l int) int { return l }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SimulateIteration(c, order, prio, true)
+	}
+}
+
+// Micro-benchmarks of the substrates.
+
+func BenchmarkSimEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.New()
+		for j := 0; j < 1000; j++ {
+			eng.Schedule(sim.Time(j), func() {})
+		}
+		eng.Run()
+	}
+}
+
+func BenchmarkGPUSimDenseNetIteration(b *testing.B) {
+	m := models.DenseNet(models.V100Profile(), 121, 12, 32, models.CIFAR100)
+	gpu := gpusim.V100()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		singlegpu.Run(m, singlegpu.XLA(), gpu)
+	}
+}
+
+func BenchmarkPipelineBERT48(b *testing.B) {
+	m := models.VocabParallelHead(models.BERT(models.V100Profile(), 48, 128, 512), 32)
+	cfg := pipepar.Config{
+		GPUs: 32, MicroBatches: 32, Alloc: core.ModuloAllocation(len(m.Layers), 32, 1),
+		FastForward: true, Schedule: pipepar.GPipe, Link: netsim.NVLink(), Iterations: 3,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipepar.Run(m, cfg)
+	}
+}
+
+func BenchmarkLinkPriorityTransfers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.New()
+		l := netsim.NewLink(eng, netsim.Ethernet10G())
+		for j := 0; j < 50; j++ {
+			l.Transfer("t", 4<<20, j%5, nil)
+		}
+		eng.Run()
+	}
+}
+
+func BenchmarkTensorMatMul(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.Randn(rng, 1, 128, 128)
+	y := tensor.Randn(rng, 1, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkTensorConv2D(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.Randn(rng, 1, 8, 8, 16, 16)
+	w := tensor.Randn(rng, 1, 16, 8, 3, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv2D(x, w)
+	}
+}
+
+func BenchmarkMemoryProfile(b *testing.B) {
+	m := models.DenseNet(models.V100Profile(), 169, 32, 64, models.ImageNet)
+	s := graph.Conventional(len(m.Layers))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.MemoryProfile(m, s)
+	}
+}
+
+var sinkDuration time.Duration
+
+func BenchmarkPSSyncTime(b *testing.B) {
+	spec := netsim.Ethernet10G()
+	for i := 0; i < b.N; i++ {
+		sinkDuration = netsim.PSSyncTime(spec, 100<<20, 48, 4)
+	}
+}

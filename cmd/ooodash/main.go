@@ -1,0 +1,27 @@
+// Command ooodash serves the experiment suite over HTTP: an index of every
+// reproducible table/figure, each rendered on demand. Useful for browsing
+// results without a terminal wide enough for the timeline figures.
+//
+// Usage:
+//
+//	ooodash -addr :8080
+//	# then open http://localhost:8080/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"oooback/internal/dash"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	log.Printf("ooodash listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, dash.Handler()); err != nil {
+		log.Fatal(fmt.Errorf("ooodash: %w", err))
+	}
+}

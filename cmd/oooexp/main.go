@@ -1,0 +1,80 @@
+// Command oooexp regenerates the paper's tables and figures on the simulated
+// substrates.
+//
+// Usage:
+//
+//	oooexp list              list available experiment ids
+//	oooexp all               run every experiment
+//	oooexp <id> [...]        run specific experiments (fig1 … fig13b,
+//	                         mem-single, disc-datapar, semantics, …)
+//	oooexp -o DIR all        additionally write each report to DIR/<id>.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"oooback/internal/experiments"
+)
+
+func main() {
+	outDir := flag.String("o", "", "also write each report to this directory as <id>.txt")
+	parallel := flag.Int("parallel", 1, "run 'all' on this many goroutines (identical output, deterministic)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "oooexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	run := func(e experiments.Experiment) {
+		report := e.Run()
+		fmt.Printf("==== %s: %s ====\n%s\n", e.ID, e.Title, report)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, e.ID+".txt")
+			if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "oooexp: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	switch args[0] {
+	case "list":
+		for _, id := range experiments.IDs() {
+			e, _ := experiments.Get(id)
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+	case "all":
+		if *parallel > 1 && *outDir == "" {
+			fmt.Print(experiments.RunAllParallel(*parallel))
+			return
+		}
+		for _, id := range experiments.IDs() {
+			e, _ := experiments.Get(id)
+			run(e)
+		}
+	default:
+		status := 0
+		for _, id := range args {
+			e, ok := experiments.Get(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "oooexp: unknown experiment %q (try 'oooexp list')\n", id)
+				status = 1
+				continue
+			}
+			run(e)
+		}
+		os.Exit(status)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: oooexp [-o dir] list | all | <experiment-id>...")
+}

@@ -1,0 +1,218 @@
+// Command oooschedule prints the backward schedules the out-of-order
+// backprop algorithms produce for a model, plus their memory profiles.
+//
+// Usage:
+//
+//	oooschedule -model resnet50 -batch 64 -algo reverse-k -k 20
+//	oooschedule -model densenet121 -algo conventional
+//	oooschedule -model bert24 -algo fastforward
+//	oooschedule -model ffnn16 -algo list -sync 5ms
+//	oooschedule -model-json profile.json -algo reverse-k -k 10
+//	oooschedule -dump-model resnet50.json -model resnet50
+//	oooschedule -all -o schedules/      # the paper-artifact-style dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"oooback/internal/core"
+	"oooback/internal/graph"
+	"oooback/internal/models"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "resnet50", "model: densenet121|densenet169|mobilenet|resnet50|resnet101|resnet152|ffnn16|rnn16|bert12|bert24|bert48|gpt3")
+		modelJSON = flag.String("model-json", "", "load the cost model from this JSON file instead of -model")
+		dumpModel = flag.String("dump-model", "", "write the selected model's cost profile to this JSON file and exit")
+		batch     = flag.Int("batch", 64, "batch size")
+		algo      = flag.String("algo", "reverse-k", "algorithm: conventional|reverse-k|fastforward|list")
+		k         = flag.Int("k", 0, "k for reverse-k (0 = keep conventional tail)")
+		maxMem    = flag.Int64("maxmem", 0, "memory budget in bytes for reverse-k (0 = unlimited)")
+		sync      = flag.Duration("sync", 2*time.Millisecond, "uniform per-layer sync time for the list scheduler")
+		dot       = flag.Bool("dot", false, "print the §2 dependency graph (Fig 3) in Graphviz format and exit")
+		all       = flag.Bool("all", false, "write schedules for the whole model zoo (paper-artifact style)")
+		outDir    = flag.String("o", "schedules", "output directory for -all")
+	)
+	flag.Parse()
+
+	if *all {
+		if err := dumpAll(*outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "oooschedule: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote schedules for the model zoo to %s/\n", *outDir)
+		return
+	}
+
+	var m *models.Model
+	if *modelJSON != "" {
+		f, err := os.Open(*modelJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oooschedule: %v\n", err)
+			os.Exit(1)
+		}
+		m, err = models.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oooschedule: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		m = buildModel(*modelName, *batch)
+	}
+	if *dot {
+		fmt.Print(graph.DOT(len(m.Layers), true))
+		return
+	}
+	if *dumpModel != "" {
+		f, err := os.Create(*dumpModel)
+		if err == nil {
+			err = m.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oooschedule: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *dumpModel)
+		return
+	}
+	L := len(m.Layers)
+
+	var s graph.BackwardSchedule
+	switch *algo {
+	case "conventional":
+		s = graph.Conventional(L)
+	case "reverse-k":
+		s = core.ReverseFirstK(m, *k, *maxMem)
+	case "fastforward":
+		s = core.FastForward(L)
+	case "list":
+		c := core.IterCosts{
+			F:     make([]time.Duration, L),
+			DO:    make([]time.Duration, L),
+			DW:    make([]time.Duration, L),
+			SyncW: make([]time.Duration, L),
+		}
+		for i, l := range m.Layers {
+			c.F[i] = l.Fwd
+			c.DO[i] = l.DO
+			c.DW[i] = l.DW
+			c.SyncW[i] = *sync
+		}
+		s = core.ListSchedule(c)
+	default:
+		fmt.Fprintf(os.Stderr, "oooschedule: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+	if err := s.Validate(L); err != nil {
+		fmt.Fprintf(os.Stderr, "oooschedule: produced illegal schedule: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("model=%s layers=%d algorithm=%s\n", m.Name, L, *algo)
+	fmt.Printf("schedule (%d ops):\n", len(s))
+	for i, op := range s {
+		fmt.Printf("%v ", op)
+		if (i+1)%12 == 0 {
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+	convPeak := graph.PeakMemory(m, graph.Conventional(L))
+	peak := graph.PeakMemory(m, s)
+	fmt.Printf("peak backward memory: %.1f MB (conventional %.1f MB, %+.2f%%)\n",
+		float64(peak)/(1<<20), float64(convPeak)/(1<<20),
+		100*(float64(peak)/float64(convPeak)-1))
+}
+
+// dumpAll writes, for every model in the zoo, the reverse first-k (k = L/3),
+// fast-forwarding and conventional schedules — the repository's analogue of
+// the paper artifact's "execution schedules for the evaluated neural network
+// models".
+func dumpAll(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	zoo := []struct {
+		name  string
+		batch int
+	}{
+		{"densenet121", 32}, {"densenet169", 32}, {"mobilenet", 32},
+		{"resnet50", 128}, {"resnet101", 96}, {"resnet152", 64},
+		{"ffnn16", 1024}, {"rnn16", 1024},
+		{"bert12", 512}, {"bert24", 96}, {"bert48", 512}, {"gpt3", 96},
+	}
+	for _, z := range zoo {
+		m := buildModel(z.name, z.batch)
+		L := len(m.Layers)
+		scheds := map[string]graph.BackwardSchedule{
+			"conventional": graph.Conventional(L),
+			"fastforward":  core.FastForward(L),
+			"reverse-k":    core.ReverseFirstK(m, L/3, 0),
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "# %s (%d layers)\n", m.Name, L)
+		for _, name := range []string{"conventional", "reverse-k", "fastforward"} {
+			s := scheds[name]
+			if err := s.Validate(L); err != nil {
+				return fmt.Errorf("%s/%s: %w", z.name, name, err)
+			}
+			fmt.Fprintf(&b, "\n[%s]\n", name)
+			for i, op := range s {
+				fmt.Fprintf(&b, "%v ", op)
+				if (i+1)%16 == 0 {
+					b.WriteByte('\n')
+				}
+			}
+			b.WriteByte('\n')
+		}
+		path := filepath.Join(dir, z.name+".sched")
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func buildModel(name string, batch int) *models.Model {
+	p := models.V100Profile()
+	switch name {
+	case "densenet121":
+		return models.DenseNet(p, 121, 32, batch, models.CIFAR100)
+	case "densenet169":
+		return models.DenseNet(p, 169, 32, batch, models.CIFAR100)
+	case "mobilenet":
+		return models.MobileNetV3Large(p, 1.0, batch, models.ImageNet)
+	case "resnet50":
+		return models.ResNet(p, 50, batch, models.ImageNet)
+	case "resnet101":
+		return models.ResNet(p, 101, batch, models.ImageNet)
+	case "resnet152":
+		return models.ResNet(p, 152, batch, models.ImageNet)
+	case "ffnn16":
+		return models.FFNN(p, 16, 4096, batch)
+	case "rnn16":
+		return models.RNN(p, 16, 1024, 32, batch)
+	case "bert12":
+		return models.BERT(p, 12, 128, batch)
+	case "bert24":
+		return models.BERT(p, 24, 128, batch)
+	case "bert48":
+		return models.BERT(p, 48, 128, batch)
+	case "gpt3":
+		return models.GPT3Medium(p, 512, batch)
+	default:
+		fmt.Fprintf(os.Stderr, "oooschedule: unknown model %q\n", name)
+		os.Exit(2)
+		return nil
+	}
+}

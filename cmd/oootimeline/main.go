@@ -1,0 +1,93 @@
+// Command oootimeline renders the paper's execution-timeline figures
+// (Figs 2, 4, 5, 6, 8, 12) as ASCII charts, or exports a run as a Chrome
+// trace (chrome://tracing / Perfetto).
+//
+// Usage:
+//
+//	oootimeline fig2|fig4|fig5|fig6|fig8|fig12
+//	oootimeline -chrome out.json singlegpu|pipeline
+//	oootimeline -svg out.svg singlegpu|pipeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oooback/internal/core"
+	"oooback/internal/experiments"
+	"oooback/internal/gpusim"
+	"oooback/internal/models"
+	"oooback/internal/netsim"
+	"oooback/internal/pipepar"
+	"oooback/internal/singlegpu"
+	"oooback/internal/trace"
+)
+
+var timelineIDs = map[string]bool{
+	"fig2": true, "fig4": true, "fig5": true,
+	"fig6": true, "fig8": true, "fig12": true,
+}
+
+func main() {
+	chromeOut := flag.String("chrome", "", "write a Chrome trace JSON of the named run (singlegpu|pipeline) to this file")
+	svgOut := flag.String("svg", "", "write an SVG timeline of the named run (singlegpu|pipeline) to this file")
+	flag.Parse()
+	args := flag.Args()
+	if *chromeOut != "" || *svgOut != "" {
+		if len(args) != 1 {
+			fmt.Fprintln(os.Stderr, "usage: oootimeline -chrome out.json | -svg out.svg  singlegpu|pipeline")
+			os.Exit(2)
+		}
+		tr, err := traceFor(args[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oootimeline: %v\n", err)
+			os.Exit(1)
+		}
+		if *chromeOut != "" {
+			raw, err := tr.ChromeJSON()
+			if err == nil {
+				err = os.WriteFile(*chromeOut, raw, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "oootimeline: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (open in chrome://tracing or Perfetto)\n", *chromeOut)
+		}
+		if *svgOut != "" {
+			if err := os.WriteFile(*svgOut, []byte(tr.SVG(1000)), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "oootimeline: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *svgOut)
+		}
+		return
+	}
+	if len(args) != 1 || !timelineIDs[args[0]] {
+		fmt.Fprintln(os.Stderr, "usage: oootimeline fig2|fig4|fig5|fig6|fig8|fig12")
+		os.Exit(2)
+	}
+	e, _ := experiments.Get(args[0])
+	fmt.Printf("==== %s: %s ====\n%s", e.ID, e.Title, e.Run())
+}
+
+// traceFor runs a representative simulation and returns its trace.
+func traceFor(which string) (*trace.Trace, error) {
+	switch which {
+	case "singlegpu":
+		m := models.DenseNet(models.V100Profile(), 121, 12, 32, models.CIFAR100)
+		return singlegpu.Run(m, singlegpu.OOOXLA(), gpusim.V100()).Trace, nil
+	case "pipeline":
+		m := models.VocabParallelHead(models.BERT(models.V100Profile(), 24, 128, 96), 4)
+		r := pipepar.Run(m, pipepar.Config{
+			GPUs: 4, MicroBatches: 4,
+			Alloc:       core.ModuloAllocation(len(m.Layers), 4, 1),
+			FastForward: true, Schedule: pipepar.GPipe,
+			Link: netsim.NVLink(), Iterations: 2,
+		})
+		return r.Trace.Shifted(), nil
+	default:
+		return nil, fmt.Errorf("unknown run %q (want singlegpu|pipeline)", which)
+	}
+}

@@ -1,0 +1,186 @@
+// Command oootrain trains a real model (CPU tensors, decoupled δO/δW
+// autograd) under a chosen backward schedule, optionally verifying that the
+// run is bit-for-bit identical to conventional backprop.
+//
+// Usage:
+//
+//	oootrain -arch cnn -schedule fastforward -steps 20 -opt momentum -verify
+//	oootrain -arch token -schedule reverse-k -k 4 -opt adam
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oooback/internal/core"
+	"oooback/internal/data"
+	"oooback/internal/graph"
+	"oooback/internal/nn"
+	"oooback/internal/tensor"
+	"oooback/internal/train"
+)
+
+func main() {
+	var (
+		arch     = flag.String("arch", "mlp", "architecture: mlp|cnn|token")
+		schedule = flag.String("schedule", "fastforward", "backward schedule: conventional|fastforward|reverse-k")
+		k        = flag.Int("k", 3, "k for reverse-k")
+		steps    = flag.Int("steps", 15, "training steps")
+		optName  = flag.String("opt", "momentum", "optimizer: sgd|momentum|rmsprop|adam")
+		seed     = flag.Uint64("seed", 42, "init/data seed")
+		verify   = flag.Bool("verify", false, "also run conventional backprop and compare bit-for-bit")
+	)
+	flag.Parse()
+
+	build, x, labels, L := buildArch(*arch, *seed)
+	sched := buildSchedule(*schedule, L, *k)
+	if err := sched.Validate(L); err != nil {
+		fatal("illegal schedule: %v", err)
+	}
+
+	losses, weights := runTraining(build, x, labels, sched, mkOpt(*optName), *steps)
+	fmt.Printf("arch=%s schedule=%s optimizer=%s steps=%d\n", *arch, *schedule, *optName, *steps)
+	for i, l := range losses {
+		fmt.Printf("step %2d  loss %.6f\n", i, l)
+	}
+	fmt.Printf("loss: %.6f -> %.6f\n", losses[0], losses[len(losses)-1])
+
+	if *verify {
+		refLoss, refW := runTraining(build, x, labels, graph.Conventional(L), mkOpt(*optName), *steps)
+		same := train.SnapshotsEqual(weights, refW)
+		lossSame := true
+		for i := range losses {
+			if losses[i] != refLoss[i] {
+				lossSame = false
+			}
+		}
+		fmt.Printf("verify vs conventional: losses identical=%v weights identical=%v\n", lossSame, same)
+		if !same || !lossSame {
+			os.Exit(1)
+		}
+	}
+}
+
+func runTraining(build func() *train.Network, x *tensor.Tensor, labels []int,
+	sched graph.BackwardSchedule, opt nn.Optimizer, steps int) ([]float64, map[string]*tensor.Tensor) {
+	net := build()
+	var losses []float64
+	for i := 0; i < steps; i++ {
+		loss, err := train.Step(net, x, labels, sched, opt)
+		if err != nil {
+			fatal("training step: %v", err)
+		}
+		losses = append(losses, loss)
+	}
+	return losses, train.ParamSnapshot(net)
+}
+
+func buildArch(arch string, seed uint64) (func() *train.Network, *tensor.Tensor, []int, int) {
+	switch arch {
+	case "mlp":
+		x, labels := data.Vectors(seed, 32, 16, 4)
+		build := func() *train.Network {
+			rng := tensor.NewRNG(seed)
+			return &train.Network{Layers: []nn.Layer{
+				nn.NewDense("fc1", 16, 32, rng),
+				nn.NewReLU("relu1"),
+				nn.NewDense("fc2", 32, 32, rng),
+				nn.NewReLU("relu2"),
+				nn.NewDense("fc3", 32, 4, rng),
+			}}
+		}
+		return build, x, labels, 5
+	case "cnn":
+		x, labels := data.Images(seed, 32, 1, 9, 9, 4)
+		build := func() *train.Network {
+			rng := tensor.NewRNG(seed)
+			return &train.Network{Layers: []nn.Layer{
+				nn.NewConv2D("conv1", 8, 1, 3, 3, rng),
+				nn.NewReLU("relu1"),
+				nn.NewConv2D("conv2", 8, 8, 2, 2, rng),
+				nn.NewReLU("relu2"),
+				nn.NewMaxPool2("pool"),
+				nn.NewFlatten("flat"),
+				nn.NewDense("fc", 8*3*3, 4, rng),
+			}}
+		}
+		return build, x, labels, 7
+	case "token":
+		const seqLen, vocab, classes = 8, 50, 3
+		seqs := data.Tokens(seed, 24, seqLen, vocab)
+		x := tensor.New(24 * seqLen)
+		labels := make([]int, 24)
+		for i, s := range seqs {
+			sum := 0
+			for j, tok := range s {
+				x.Data[i*seqLen+j] = float64(tok)
+				sum += tok
+			}
+			labels[i] = sum % classes
+		}
+		build := func() *train.Network {
+			rng := tensor.NewRNG(seed)
+			return &train.Network{Layers: []nn.Layer{
+				nn.NewEmbedding("emb", vocab, 12, rng),
+				nn.NewLayerNorm("ln", 12, rng),
+				nn.NewMeanPool1D("pool", seqLen),
+				nn.NewDense("fc1", 12, 16, rng),
+				nn.NewReLU("relu"),
+				nn.NewDense("fc2", 16, classes, rng),
+			}}
+		}
+		return build, x, labels, 6
+	default:
+		fatal("unknown arch %q", arch)
+		return nil, nil, nil, 0
+	}
+}
+
+func buildSchedule(name string, L, k int) graph.BackwardSchedule {
+	switch name {
+	case "conventional":
+		return graph.Conventional(L)
+	case "fastforward":
+		return core.FastForward(L)
+	case "reverse-k":
+		var s graph.BackwardSchedule
+		if k > L {
+			k = L
+		}
+		for i := L; i >= 1; i-- {
+			if i > k {
+				s = append(s, graph.Op{Kind: graph.WeightGrad, Layer: i})
+			}
+			s = append(s, graph.Op{Kind: graph.OutGrad, Layer: i})
+		}
+		for i := 1; i <= k; i++ {
+			s = append(s, graph.Op{Kind: graph.WeightGrad, Layer: i})
+		}
+		return s
+	default:
+		fatal("unknown schedule %q", name)
+		return nil
+	}
+}
+
+func mkOpt(name string) nn.Optimizer {
+	switch name {
+	case "sgd":
+		return &nn.SGD{LR: 0.05}
+	case "momentum":
+		return &nn.Momentum{LR: 0.02, Beta: 0.9}
+	case "rmsprop":
+		return &nn.RMSProp{LR: 0.005, Decay: 0.9}
+	case "adam":
+		return &nn.Adam{LR: 0.005}
+	default:
+		fatal("unknown optimizer %q", name)
+		return nil
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "oootrain: "+format+"\n", args...)
+	os.Exit(2)
+}

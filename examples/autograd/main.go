@@ -1,0 +1,72 @@
+// Autograd: the §7 "alternative implementation" — out-of-order backprop
+// inside a define-by-run autograd tape (the PyTorch-style path), rather than
+// a static computation graph. The tape records the forward ops; Backward
+// executes the parameter VJPs (the δW computations) under three policies and
+// shows the gradients are bit-for-bit identical while the execution order
+// differs.
+//
+// Run with: go run ./examples/autograd
+package main
+
+import (
+	"fmt"
+
+	"oooback/internal/autograd"
+	"oooback/internal/data"
+	"oooback/internal/tensor"
+)
+
+func main() {
+	x, labels := data.Vectors(7, 32, 10, 4)
+
+	// Persistent parameters shared across policies (cloned per run).
+	rng := tensor.NewRNG(99)
+	w1 := tensor.Randn(rng, 0.4, 10, 24)
+	b1 := tensor.New(1, 24)
+	w2 := tensor.Randn(rng, 0.4, 24, 24)
+	w3 := tensor.Randn(rng, 0.4, 24, 4)
+
+	run := func(policy autograd.Policy) (float64, map[string]*tensor.Tensor) {
+		tape := autograd.NewTape()
+		xin := tape.Input(x)
+		p1 := tape.Param("w1", w1.Clone())
+		pb := tape.Param("b1", b1.Clone())
+		p2 := tape.Param("w2", w2.Clone())
+		p3 := tape.Param("w3", w3.Clone())
+
+		h1 := autograd.ReLU(autograd.AddBias(autograd.MatMul(xin, p1), pb))
+		h2 := autograd.ReLU(autograd.MatMul(h1, p2))
+		logits := autograd.MatMul(h2, p3)
+
+		loss, seed := autograd.SoftmaxCE(logits, labels)
+		if err := tape.Backward(logits, seed, policy); err != nil {
+			panic(err)
+		}
+		grads := map[string]*tensor.Tensor{}
+		for _, p := range tape.Params() {
+			grads[p.Name] = p.Grad
+		}
+		return loss, grads
+	}
+
+	lossConv, ref := run(autograd.Conventional)
+	fmt.Printf("loss: %.6f\n\n", lossConv)
+	for _, pc := range []struct {
+		name string
+		p    autograd.Policy
+	}{
+		{"defer-params (fast-forwarding)", autograd.DeferParams},
+		{"defer-params ascending (reverse-k)", autograd.DeferParamsAscending},
+	} {
+		_, got := run(pc.p)
+		identical := true
+		for name := range ref {
+			if !tensor.Equal(ref[name], got[name]) {
+				identical = false
+			}
+		}
+		fmt.Printf("%-36s gradients bit-identical: %v\n", pc.name, identical)
+	}
+	fmt.Println("\nThe tape defers every parameter VJP past the activation-gradient chain,")
+	fmt.Println("the autograd-engine equivalent of the paper's TensorFlow graph surgery.")
+}

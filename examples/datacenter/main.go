@@ -1,0 +1,45 @@
+// Datacenter: sweep a data-parallel ResNet training job across cluster sizes
+// on the three Table 2 clusters, comparing Horovod, BytePS and OOO-BytePS —
+// the scenario the paper's introduction motivates ("half of the GPUs running
+// neural network tasks are idle").
+//
+// Run with: go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+
+	"oooback/internal/datapar"
+	"oooback/internal/models"
+	"oooback/internal/stats"
+)
+
+func main() {
+	cases := []struct {
+		cluster datapar.Cluster
+		profile models.GPUProfile
+		batch   int
+		workers []int
+	}{
+		{datapar.PrivA(), models.TitanXPProfile(), 64, []int{2, 4, 8}},
+		{datapar.PrivB(), models.P100Profile(), 64, []int{4, 8, 20}},
+		{datapar.PubA(), models.V100Profile(), 128, []int{4, 16, 48}},
+	}
+	t := stats.NewTable("cluster", "GPUs", "Horovod (img/s)", "BytePS", "OOO-BytePS", "gain", "k", "scale eff")
+	for _, c := range cases {
+		m := models.ResNet(c.profile, 50, c.batch, models.ImageNet)
+		single := datapar.Run(m, c.cluster, 1, datapar.BytePS)
+		for _, w := range c.workers {
+			hv := datapar.Run(m, c.cluster, w, datapar.Horovod)
+			bp := datapar.Run(m, c.cluster, w, datapar.BytePS)
+			oo := datapar.Run(m, c.cluster, w, datapar.OOOBytePS)
+			eff := oo.Throughput / (single.Throughput * float64(w))
+			t.Add(c.cluster.Name, w, fmt.Sprintf("%.0f", hv.Throughput),
+				fmt.Sprintf("%.0f", bp.Throughput), fmt.Sprintf("%.0f", oo.Throughput),
+				oo.Throughput/bp.Throughput, oo.K, eff)
+		}
+	}
+	fmt.Print(t.String())
+	fmt.Println("\n'gain' is OOO-BytePS over BytePS; 'scale eff' is throughput per GPU")
+	fmt.Println("relative to single-GPU training (1.0 = perfect scaling).")
+}

@@ -1,0 +1,56 @@
+// Quickstart: schedule a model with out-of-order backprop and measure the
+// speedup on the simulated GPU.
+//
+// This walks the three public surfaces of the library:
+//  1. build a cost model of a network (internal/models),
+//  2. derive an ooo backward schedule (internal/core),
+//  3. simulate a training iteration with and without the schedule
+//     (internal/singlegpu, internal/datapar).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"oooback/internal/core"
+	"oooback/internal/datapar"
+	"oooback/internal/gpusim"
+	"oooback/internal/graph"
+	"oooback/internal/models"
+	"oooback/internal/singlegpu"
+)
+
+func main() {
+	// A DenseNet-121 (growth rate 12) at batch 32 — the model where the
+	// paper's single-GPU gains peak.
+	m := models.DenseNet(models.V100Profile(), 121, 12, 32, models.CIFAR100)
+	fmt.Printf("model: %s (%d layers, %d blocks)\n\n", m.Name, m.NumLayers(), len(m.Blocks()))
+
+	// 1. Single-GPU training: XLA baseline vs OOO-XLA (pre-compiled issue +
+	// multi-stream out-of-order computation scheduled by Algorithm 1).
+	gpu := gpusim.V100()
+	xla := singlegpu.Run(m, singlegpu.XLA(), gpu)
+	ooo := singlegpu.Run(m, singlegpu.OOOXLA(), gpu)
+	fmt.Printf("single GPU:   XLA %.0f img/s -> OOO-XLA %.0f img/s (%.2fx)\n",
+		xla.Throughput, ooo.Throughput, ooo.Throughput/xla.Throughput)
+
+	// 2. The backward schedule itself: reverse first-k for data-parallel
+	// training. Validate it is a legal execution order and check its memory.
+	sched := core.ReverseFirstK(m, 20, 0)
+	if err := sched.Validate(m.NumLayers()); err != nil {
+		panic(err)
+	}
+	conv := graph.PeakMemory(m, graph.Conventional(m.NumLayers()))
+	peak := graph.PeakMemory(m, sched)
+	fmt.Printf("reverse-20:   peak backward memory %.1f MB vs conventional %.1f MB\n",
+		float64(peak)/(1<<20), float64(conv)/(1<<20))
+
+	// 3. Data-parallel training on 16 simulated V100s: BytePS vs OOO-BytePS
+	// (which searches the optimal k itself).
+	rn := models.ResNet(models.V100Profile(), 50, 128, models.ImageNet)
+	bp := datapar.Run(rn, datapar.PubA(), 16, datapar.BytePS)
+	ob := datapar.Run(rn, datapar.PubA(), 16, datapar.OOOBytePS)
+	fmt.Printf("16 GPUs:      BytePS %.0f img/s -> OOO-BytePS %.0f img/s (%.2fx, k=%d)\n",
+		bp.Throughput, ob.Throughput, ob.Throughput/bp.Throughput, ob.K)
+}

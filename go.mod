@@ -1,0 +1,3 @@
+module oooback
+
+go 1.22

@@ -1,0 +1,200 @@
+// Package bfc implements a best-fit-with-coalescing memory allocator — the
+// algorithm behind TensorFlow's bfc_allocator, whose behaviour the paper
+// inspects when reporting memory usage (§8.1: "we also investigate and
+// report the memory allocation of TensorFlow's bfc_allocator"). The
+// simulators use byte counters for speed; this package exists to study the
+// allocator-level effects of out-of-order schedules: reordering δW changes
+// tensor lifetimes, which changes fragmentation and the high-water mark of
+// the arena.
+package bfc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned when no free region can satisfy a request.
+var ErrOutOfMemory = errors.New("bfc: out of memory")
+
+// block is a contiguous arena region, free or allocated, in a doubly linked
+// address-ordered list.
+type block struct {
+	off, size  int64
+	free       bool
+	prev, next *block
+}
+
+// Allocator manages a fixed arena with best-fit allocation and immediate
+// coalescing of freed neighbours. Free blocks are indexed in power-of-two
+// size-class bins (see bins.go), so Alloc is O(log classes + log bin) rather
+// than a scan of every block — the same structure TensorFlow's bfc_allocator
+// uses.
+type Allocator struct {
+	arena int64
+	head  *block
+	byOff map[int64]*block // allocated blocks by offset
+	free  freeBins
+
+	used, peak int64
+	allocs     uint64
+}
+
+// New creates an allocator over an arena of the given size.
+func New(arena int64) *Allocator {
+	if arena <= 0 {
+		panic("bfc: non-positive arena")
+	}
+	h := &block{off: 0, size: arena, free: true}
+	a := &Allocator{arena: arena, head: h, byOff: make(map[int64]*block)}
+	a.free.insert(h)
+	return a
+}
+
+// align rounds requests up to 256 bytes, as GPU allocators do.
+const align = 256
+
+func roundUp(n int64) int64 {
+	if n <= 0 {
+		return align
+	}
+	return (n + align - 1) / align * align
+}
+
+// Alloc reserves n bytes and returns the arena offset.
+func (a *Allocator) Alloc(n int64) (int64, error) {
+	if n < 0 {
+		panic("bfc: negative allocation")
+	}
+	n = roundUp(n)
+	best := a.free.take(n)
+	if best == nil {
+		return 0, fmt.Errorf("%w: want %d, used %d of %d (largest free %d)",
+			ErrOutOfMemory, n, a.used, a.arena, a.largestFree())
+	}
+	if best.size > n {
+		rest := &block{off: best.off + n, size: best.size - n, free: true,
+			prev: best, next: best.next}
+		if best.next != nil {
+			best.next.prev = rest
+		}
+		best.next = rest
+		best.size = n
+		a.free.insert(rest)
+	}
+	best.free = false
+	a.byOff[best.off] = best
+	a.used += best.size
+	if a.used > a.peak {
+		a.peak = a.used
+	}
+	a.allocs++
+	return best.off, nil
+}
+
+// Free releases the allocation at the given offset, coalescing with free
+// neighbours. Freeing an unknown offset panics — it is always a caller bug.
+func (a *Allocator) Free(off int64) {
+	b, ok := a.byOff[off]
+	if !ok {
+		panic(fmt.Sprintf("bfc: free of unallocated offset %d", off))
+	}
+	delete(a.byOff, off)
+	a.used -= b.size
+	b.free = true
+	// Coalesce with next, then with prev, keeping the bins in sync.
+	if n := b.next; n != nil && n.free {
+		a.free.remove(n)
+		b.size += n.size
+		b.next = n.next
+		if n.next != nil {
+			n.next.prev = b
+		}
+	}
+	if p := b.prev; p != nil && p.free {
+		a.free.remove(p)
+		p.size += b.size
+		p.next = b.next
+		if b.next != nil {
+			b.next.prev = p
+		}
+		a.free.insert(p)
+		return
+	}
+	a.free.insert(b)
+}
+
+// Used returns the currently allocated bytes (after alignment).
+func (a *Allocator) Used() int64 { return a.used }
+
+// Peak returns the high-water mark of allocated bytes.
+func (a *Allocator) Peak() int64 { return a.peak }
+
+// Allocs returns the number of successful allocations.
+func (a *Allocator) Allocs() uint64 { return a.allocs }
+
+func (a *Allocator) largestFree() int64 {
+	var m int64
+	for b := a.head; b != nil; b = b.next {
+		if b.free && b.size > m {
+			m = b.size
+		}
+	}
+	return m
+}
+
+// Fragmentation returns 1 − largestFree/totalFree: 0 when the free space is
+// one contiguous region, approaching 1 as it shatters. Returns 0 when the
+// arena is full.
+func (a *Allocator) Fragmentation() float64 {
+	var total, largest int64
+	for b := a.head; b != nil; b = b.next {
+		if !b.free {
+			continue
+		}
+		total += b.size
+		if b.size > largest {
+			largest = b.size
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(largest)/float64(total)
+}
+
+// CheckInvariants validates the block list: address-ordered, gap-free, no
+// adjacent free blocks, sizes positive. Used by tests after every operation.
+func (a *Allocator) CheckInvariants() error {
+	var off int64
+	prevFree := false
+	for b := a.head; b != nil; b = b.next {
+		if b.off != off {
+			return fmt.Errorf("bfc: block at %d, expected %d", b.off, off)
+		}
+		if b.size <= 0 {
+			return fmt.Errorf("bfc: non-positive block size at %d", b.off)
+		}
+		if b.free && prevFree {
+			return fmt.Errorf("bfc: uncoalesced free blocks at %d", b.off)
+		}
+		if b.next != nil && b.next.prev != b {
+			return fmt.Errorf("bfc: broken back-link at %d", b.off)
+		}
+		prevFree = b.free
+		off += b.size
+	}
+	if off != a.arena {
+		return fmt.Errorf("bfc: blocks cover %d of %d", off, a.arena)
+	}
+	// Bin consistency: every free block binned exactly once.
+	freeBlocks := 0
+	for b := a.head; b != nil; b = b.next {
+		if b.free {
+			freeBlocks++
+		}
+	}
+	if got := a.free.count(); got != freeBlocks {
+		return fmt.Errorf("bfc: %d blocks binned, %d free in the list", got, freeBlocks)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package bfc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	a := New(1 << 20)
+	off, err := a.Alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Used() != 1024 { // rounded to 256
+		t.Fatalf("used = %d, want 1024", a.Used())
+	}
+	a.Free(off)
+	if a.Used() != 0 {
+		t.Fatalf("used after free = %d", a.Used())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fragmentation() != 0 {
+		t.Fatalf("fragmentation after full free = %v", a.Fragmentation())
+	}
+}
+
+func TestBestFitPrefersSmallestHole(t *testing.T) {
+	a := New(10 * 1024)
+	// Carve [A 1024][B 2048][C 1024][D 1024][tail 5120], then free B and C
+	// (they coalesce into a 3072 hole). A 1024 request must land in that
+	// hole — the best fit — not in the larger 5120 tail.
+	_, _ = a.Alloc(1024)
+	b, _ := a.Alloc(2048)
+	c, _ := a.Alloc(1024)
+	_, _ = a.Alloc(1024)
+	a.Free(b)
+	a.Free(c)
+	off, err := a.Alloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != b {
+		t.Fatalf("alloc at %d, want the coalesced hole at %d", off, b)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOOMReported(t *testing.T) {
+	a := New(1024)
+	if _, err := a.Alloc(512); err != nil {
+		t.Fatal(err)
+	}
+	_, err := a.Alloc(768)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestFragmentationMetric(t *testing.T) {
+	a := New(4 * 1024)
+	o1, _ := a.Alloc(1024)
+	o2, _ := a.Alloc(1024)
+	o3, _ := a.Alloc(1024)
+	_ = o2
+	a.Free(o1)
+	a.Free(o3)
+	// Free space: 1024 at start, 1024 after o2, 1024 tail → tail coalesces
+	// with o3's block: holes of 1024 and 2048. Fragmentation = 1 − 2048/3072.
+	got := a.Fragmentation()
+	want := 1 - 2048.0/3072.0
+	if diff := got - want; diff < -1e-12 || diff > 1e-12 {
+		t.Fatalf("fragmentation = %v, want %v", got, want)
+	}
+}
+
+func TestFreeUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(1024).Free(512)
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := New(1024)
+	off, _ := a.Alloc(256)
+	a.Free(off)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on double free")
+		}
+	}()
+	a.Free(off)
+}
+
+// Property: random alloc/free sequences never violate the invariants, never
+// hand out overlapping regions, and a full drain always returns the arena to
+// one free block.
+func TestRandomWorkloadProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(1 << 20)
+		type alloc struct{ off, size int64 }
+		var live []alloc
+		for step := 0; step < 300; step++ {
+			if rng.Intn(2) == 0 && len(live) > 0 {
+				i := rng.Intn(len(live))
+				a.Free(live[i].off)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				size := int64(rng.Intn(8192) + 1)
+				off, err := a.Alloc(size)
+				if err != nil {
+					continue // arena full; fine
+				}
+				// Overlap check against all live allocations.
+				end := off + roundUp(size)
+				for _, l := range live {
+					if off < l.off+l.size && l.off < end {
+						return false
+					}
+				}
+				live = append(live, alloc{off, roundUp(size)})
+			}
+			if err := a.CheckInvariants(); err != nil {
+				t.Logf("invariant: %v", err)
+				return false
+			}
+		}
+		for _, l := range live {
+			a.Free(l.off)
+		}
+		return a.Used() == 0 && a.Fragmentation() == 0 && a.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: peak never exceeds the arena and is monotone.
+func TestPeakBoundsProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := New(1 << 18)
+		var offs []int64
+		prevPeak := int64(0)
+		for _, s := range sizes {
+			off, err := a.Alloc(int64(s))
+			if err == nil {
+				offs = append(offs, off)
+			}
+			if a.Peak() < prevPeak || a.Peak() > 1<<18 {
+				return false
+			}
+			prevPeak = a.Peak()
+		}
+		for _, o := range offs {
+			a.Free(o)
+		}
+		return a.Peak() == prevPeak
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

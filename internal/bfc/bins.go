@@ -1,0 +1,82 @@
+package bfc
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// freeBins indexes free blocks by power-of-two size class, the structure
+// real BFC allocators use to avoid scanning every block on allocation.
+// Within a class, blocks are kept sorted by (size, offset) so selection is
+// deterministic best-fit.
+type freeBins struct {
+	bins [64][]*block
+}
+
+// class returns the size class: floor(log2(size/align)).
+func class(size int64) int {
+	u := uint64(size / align)
+	if u == 0 {
+		return 0
+	}
+	return bits.Len64(u) - 1
+}
+
+// insert adds a free block to its bin.
+func (f *freeBins) insert(b *block) {
+	c := class(b.size)
+	bin := f.bins[c]
+	i := sort.Search(len(bin), func(i int) bool {
+		if bin[i].size != b.size {
+			return bin[i].size > b.size
+		}
+		return bin[i].off >= b.off
+	})
+	bin = append(bin, nil)
+	copy(bin[i+1:], bin[i:])
+	bin[i] = b
+	f.bins[c] = bin
+}
+
+// remove deletes a free block from its bin; the block must be present.
+func (f *freeBins) remove(b *block) {
+	c := class(b.size)
+	bin := f.bins[c]
+	i := sort.Search(len(bin), func(i int) bool {
+		if bin[i].size != b.size {
+			return bin[i].size > b.size
+		}
+		return bin[i].off >= b.off
+	})
+	if i >= len(bin) || bin[i] != b {
+		panic(fmt.Sprintf("bfc: free block at %d (size %d) missing from bin %d", b.off, b.size, c))
+	}
+	f.bins[c] = append(bin[:i], bin[i+1:]...)
+}
+
+// take returns the best-fitting free block of at least n bytes, removed from
+// its bin, or nil. Within the first class holding a fit, the smallest
+// adequate block wins (lowest offset on ties); higher classes always fit, so
+// their first (smallest) entry is the best fit overall.
+func (f *freeBins) take(n int64) *block {
+	for c := class(n); c < len(f.bins); c++ {
+		bin := f.bins[c]
+		i := sort.Search(len(bin), func(i int) bool { return bin[i].size >= n })
+		if i < len(bin) {
+			b := bin[i]
+			f.bins[c] = append(bin[:i], bin[i+1:]...)
+			return b
+		}
+	}
+	return nil
+}
+
+// count returns the total number of binned blocks (for invariant checks).
+func (f *freeBins) count() int {
+	n := 0
+	for _, bin := range f.bins {
+		n += len(bin)
+	}
+	return n
+}

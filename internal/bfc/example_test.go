@@ -1,0 +1,27 @@
+package bfc_test
+
+import (
+	"fmt"
+
+	"oooback/internal/bfc"
+)
+
+// Example shows the allocator's coalescing behaviour: freeing two adjacent
+// blocks leaves one hole, so a larger allocation fits again.
+func Example() {
+	a := bfc.New(4096)
+	x, _ := a.Alloc(1024)
+	y, _ := a.Alloc(1024)
+	if _, err := a.Alloc(4096); err != nil {
+		fmt.Println("full:", err != nil)
+	}
+	a.Free(x)
+	a.Free(y) // coalesces with x's block and the tail
+	_, err := a.Alloc(4096)
+	fmt.Println("after coalescing:", err == nil)
+	fmt.Println("fragmentation:", a.Fragmentation())
+	// Output:
+	// full: true
+	// after coalescing: true
+	// fragmentation: 0
+}

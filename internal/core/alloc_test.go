@@ -1,0 +1,257 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"oooback/internal/graph"
+	"oooback/internal/models"
+)
+
+func TestBalancedAllocationUniform(t *testing.T) {
+	costs := make([]time.Duration, 8)
+	for i := range costs {
+		costs[i] = time.Millisecond
+	}
+	out := BalancedAllocation(costs, 4)
+	// Uniform costs: two layers per stage.
+	want := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("alloc = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestBalancedAllocationHeavyTail(t *testing.T) {
+	// One huge layer at the end: it must get its own stage.
+	costs := []time.Duration{1, 1, 1, 1, 1, 1, 1, 10}
+	out := BalancedAllocation(costs, 2)
+	if out[7] != 1 {
+		t.Fatalf("heavy layer not isolated: %v", out)
+	}
+	for i := 0; i < 7; i++ {
+		if out[i] != 0 {
+			t.Fatalf("light layers should share stage 0: %v", out)
+		}
+	}
+}
+
+func TestBalancedAllocationMoreGPUsThanLayers(t *testing.T) {
+	costs := []time.Duration{5, 5}
+	out := BalancedAllocation(costs, 8)
+	if out[0] != 0 || out[1] != 1 {
+		t.Fatalf("alloc = %v", out)
+	}
+}
+
+func TestBalancedAllocationPanicsOnZeroGPUs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	BalancedAllocation([]time.Duration{1}, 0)
+}
+
+// Property: the allocation is monotone non-decreasing, uses stages 0..max
+// contiguously, and its bottleneck stage cost is within 2× of the ideal
+// (total/n) plus the largest layer (a standard greedy bound).
+func TestBalancedAllocationProperty(t *testing.T) {
+	f := func(raw []uint8, nRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		n := int(nRaw%8) + 1
+		costs := make([]time.Duration, len(raw))
+		var total, maxc time.Duration
+		for i, r := range raw {
+			costs[i] = time.Duration(r) + 1
+			total += costs[i]
+			if costs[i] > maxc {
+				maxc = costs[i]
+			}
+		}
+		out := BalancedAllocation(costs, n)
+		if len(out) != len(costs) {
+			return false
+		}
+		stages := map[int]time.Duration{}
+		prev := 0
+		for i, g := range out {
+			if g < prev || g > prev+1 {
+				return false // non-monotone or skipped stage
+			}
+			prev = g
+			stages[g] += costs[i]
+		}
+		var bottleneck time.Duration
+		for _, c := range stages {
+			if c > bottleneck {
+				bottleneck = c
+			}
+		}
+		ideal := total / time.Duration(minInt(n, len(costs)))
+		return bottleneck <= 2*ideal+maxc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestContiguousAllocationPanicsOnZeroGPUs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ContiguousAllocation(4, 0)
+}
+
+func TestModuloAllocationDefaultsGroup(t *testing.T) {
+	out := ModuloAllocation(4, 2, 0) // group ≤ 0 defaults to 1
+	want := []int{0, 1, 0, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("alloc = %v", out)
+		}
+	}
+}
+
+func TestPairSpeedupStarvedFloor(t *testing.T) {
+	// Main kernels saturate the device; the floor keeps the speedup ≥ 1.
+	s := PairSpeedup(5000, 5000, 1520, 100*time.Microsecond, 100*time.Microsecond)
+	if s < 1 {
+		t.Fatalf("speedup %v below 1", s)
+	}
+}
+
+// Property: PairSpeedup is always in [1, 2].
+func TestPairSpeedupRangeProperty(t *testing.T) {
+	f := func(mb, sb uint16, tm, ts uint8) bool {
+		s := PairSpeedup(int(mb)+1, int(sb)+1, 1520,
+			time.Duration(tm)*time.Microsecond, time.Duration(ts)*time.Microsecond)
+		return s >= 1 && s <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiRegionJointEmptyInput(t *testing.T) {
+	out := MultiRegionJoint(JointInput{TMain: []time.Duration{10}})
+	if len(out.Regions) != 1 || len(out.Regions[0]) != 0 || len(out.Overflow) != 0 {
+		t.Fatalf("empty input output: %+v", out)
+	}
+}
+
+func TestReverseFirstKCheckpointedAllowsLargerK(t *testing.T) {
+	m := modelsFFNN16()
+	L := 16
+	// A budget between the checkpointed and store-all peaks: the plain clamp
+	// collapses k, the checkpoint-aware clamp keeps it.
+	ckptPeak := graph.MemoryProfileRecompute(m, ReverseFirstK(m, 10, 0), 4).Peak()
+	plainPeak := graph.PeakMemory(m, ReverseFirstK(m, 10, 0))
+	if ckptPeak >= plainPeak {
+		t.Skipf("checkpointing did not reduce this model's peak: %d vs %d", ckptPeak, plainPeak)
+	}
+	budget := (ckptPeak + plainPeak) / 2
+	plain := ReverseFirstK(m, 10, budget)
+	ckpt := ReverseFirstKCheckpointed(m, 10, 4, budget)
+	if got := countTailDW(ckpt, L); got != 10 {
+		t.Fatalf("checkpoint-aware k = %d, want 10 under budget %d", got, budget)
+	}
+	if got := countTailDW(plain, L); got >= 10 {
+		t.Fatalf("plain clamp kept k = %d, expected a collapse below 10", got)
+	}
+	if rc := graph.MemoryProfileRecompute(m, ckpt, 4); rc.Peak() > budget {
+		t.Fatalf("checkpoint-aware schedule exceeds budget: %d > %d", rc.Peak(), budget)
+	}
+}
+
+func modelsFFNN16() *models.Model {
+	return models.FFNN(models.V100Profile(), 16, 2048, 128)
+}
+
+// countTailDW counts δW ops after δO_1 (the deferred tail).
+func countTailDW(s graph.BackwardSchedule, L int) int {
+	seen := false
+	n := 0
+	for _, op := range s {
+		if op.Kind == graph.OutGrad && op.Layer == 1 {
+			seen = true
+			continue
+		}
+		if seen && op.Kind == graph.WeightGrad {
+			n++
+		}
+	}
+	return n
+}
+
+func TestMakespanLowerBoundNoSync(t *testing.T) {
+	c := unitCosts(4, 0)
+	if got := MakespanLowerBound(c); got != 12*time.Millisecond {
+		t.Fatalf("bound = %v, want pure compute 12ms", got)
+	}
+}
+
+// Property: no legal schedule, priority policy or preemption setting beats
+// the lower bound.
+func TestMakespanNeverBeatsBoundProperty(t *testing.T) {
+	m := models.FFNN(models.V100Profile(), 8, 512, 64)
+	f := func(sync uint16, kRaw, prioSel uint8, preemptive bool) bool {
+		L := 8
+		c := unitCosts(L, time.Duration(sync)*10*time.Microsecond)
+		bound := MakespanLowerBound(c)
+		k := int(kRaw) % (L + 1)
+		var prio func(int) int
+		if prioSel%2 == 0 {
+			prio = func(l int) int { return l }
+		} else {
+			prio = func(int) int { return 0 }
+		}
+		for _, order := range []graph.BackwardSchedule{
+			graph.Conventional(L),
+			ReverseFirstK(m, k, 0),
+			FastForward(L),
+			ListSchedule(c),
+		} {
+			r := SimulateIteration(c, order, prio, preemptive)
+			if r.Makespan < bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateIterationOverlappedBounds(t *testing.T) {
+	L := 6
+	c := unitCosts(L, 2*time.Millisecond)
+	prio := func(l int) int { return l }
+	order := graph.Conventional(L)
+	all := SimulateIteration(c, order, prio, true)
+	none := SimulateIterationOverlapped(c, order, prio, true, func(int) bool { return false })
+	some := SimulateIterationOverlapped(c, order, prio, true, func(l int) bool { return l > 3 })
+	if none.Makespan != all.Makespan {
+		t.Fatalf("no-overlap variant diverged: %v vs %v", none.Makespan, all.Makespan)
+	}
+	if some.Makespan > all.Makespan {
+		t.Fatalf("overlapping δW lengthened the iteration: %v vs %v", some.Makespan, all.Makespan)
+	}
+}

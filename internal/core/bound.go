@@ -1,0 +1,83 @@
+package core
+
+import "time"
+
+// MakespanLowerBound returns a bound no legal schedule can beat under the §2
+// model (serial GPU, single communication channel, per-layer forward gating).
+// It is the maximum of three relaxations:
+//
+//  1. compute: the GPU must execute every F, δO and δW;
+//  2. channel: the channel cannot start before some δW exists (the δO chain
+//     must reach it first), must carry every synchronization, and at least
+//     the cheapest forward runs after the last synchronization it feeds;
+//  3. per-layer critical path: δW_i cannot be ready before the δO chain
+//     reaches layer i+1, and F_i..F_L serialize after its synchronization.
+//
+// The ablation-ksweep experiment reports schedules' optimality gaps against
+// this bound; TestMakespanNeverBeatsBoundProperty verifies it.
+func MakespanLowerBound(c IterCosts) time.Duration {
+	if err := c.validate(); err != nil {
+		panic(err)
+	}
+	L := c.Layers()
+
+	var compute time.Duration
+	for i := 0; i < L; i++ {
+		compute += c.F[i] + c.DO[i] + c.DW[i]
+	}
+	bound := compute
+
+	// Channel relaxation.
+	var totalSync time.Duration
+	anySync := false
+	for i := 0; i < L; i++ {
+		if c.SyncW[i] > 0 {
+			anySync = true
+			totalSync += c.SyncW[i]
+		}
+	}
+	if anySync {
+		// The earliest any δW can complete: the δO chain down to layer i+1
+		// followed by δW_i, minimized over synchronized layers.
+		earliest := time.Duration(1<<62 - 1)
+		suffixDO := make([]time.Duration, L+2) // Σ δO_{j..L}
+		for j := L; j >= 1; j-- {
+			suffixDO[j] = suffixDO[j+1] + c.DO[j-1]
+		}
+		minF := c.F[0]
+		for i := 1; i < L; i++ {
+			if c.F[i] < minF {
+				minF = c.F[i]
+			}
+		}
+		for i := 1; i <= L; i++ {
+			if c.SyncW[i-1] <= 0 {
+				continue
+			}
+			ready := suffixDO[i+1] + c.DW[i-1] // δO chain to i+1, then δW_i
+			if ready < earliest {
+				earliest = ready
+			}
+		}
+		if b := earliest + totalSync + minF; b > bound {
+			bound = b
+		}
+
+		// Per-layer critical path.
+		fwdSuffix := make([]time.Duration, L+2)
+		for i := L; i >= 1; i-- {
+			fwdSuffix[i] = fwdSuffix[i+1] + c.F[i-1]
+		}
+		for i := 1; i <= L; i++ {
+			if c.SyncW[i-1] <= 0 {
+				continue
+			}
+			lag := c.lag(i)
+			b := suffixDO[i+1] + c.DW[i-1] + c.SyncW[i-1] + lag + fwdSuffix[i]
+			if b > bound {
+				bound = b
+			}
+		}
+	}
+	return bound
+}

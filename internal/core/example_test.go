@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"oooback/internal/core"
+	"oooback/internal/graph"
+	"oooback/internal/models"
+)
+
+// ExampleReverseFirstK shows Algorithm 2's output: layers above k run with
+// δW hoisted next to their δO, while the first k weight gradients are
+// deferred to the end in ascending order so their synchronizations start
+// earliest.
+func ExampleReverseFirstK() {
+	m := models.FFNN(models.V100Profile(), 4, 256, 32)
+	sched := core.ReverseFirstK(m, 2, 0)
+	fmt.Println(sched)
+	// Output:
+	// [dW4 dO4 dW3 dO3 dO2 dO1 dW1 dW2]
+}
+
+// ExampleFastForward shows gradient fast-forwarding (§5.2.1): the entire δO
+// chain first, the deferred δW afterwards.
+func ExampleFastForward() {
+	fmt.Println(core.FastForward(3))
+	// Output:
+	// [dO3 dO2 dO1 dW3 dW2 dW1]
+}
+
+// ExampleSearchK finds the throughput-optimal deferral depth with the §5.1
+// concave search, probing far fewer k values than an exhaustive sweep.
+func ExampleSearchK() {
+	// A synthetic concave throughput curve peaking at k = 12.
+	k := core.SearchK(40, func(k int) float64 {
+		d := float64(k - 12)
+		return 100 - d*d
+	})
+	fmt.Println(k)
+	// Output:
+	// 12
+}
+
+// ExampleModuloAllocation shows the §5.2.1 layer placement: per-layer
+// round-robin versus grouped round-robin (used on slow interconnects).
+func ExampleModuloAllocation() {
+	fmt.Println(core.ModuloAllocation(8, 2, 1))
+	fmt.Println(core.ModuloAllocation(8, 2, 2))
+	// Output:
+	// [0 1 0 1 0 1 0 1]
+	// [0 0 1 1 0 0 1 1]
+}
+
+// ExampleSimulateIteration evaluates a schedule against the §2 cost model:
+// the makespan covers backward compute, prioritized communication, and the
+// next forward pass gated on each layer's synchronization.
+func ExampleSimulateIteration() {
+	L := 3
+	unit := time.Millisecond
+	c := core.IterCosts{
+		F:     []time.Duration{unit, unit, unit},
+		DO:    []time.Duration{unit, unit, unit},
+		DW:    []time.Duration{unit, unit, unit},
+		SyncW: []time.Duration{4 * unit, unit, unit},
+	}
+	prio := func(layer int) int { return layer }
+	conv := core.SimulateIteration(c, graph.Conventional(L), prio, true)
+	m := models.FFNN(models.V100Profile(), L, 256, 32)
+	ooo := core.SimulateIteration(c, core.ReverseFirstK(m, 2, 0), prio, true)
+	fmt.Println(conv.Makespan, "->", ooo.Makespan)
+	// Output:
+	// 13ms -> 12ms
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"oooback/internal/graph"
+	"oooback/internal/trace"
+)
+
+// IterCosts carries the per-layer op durations of the §2 optimization
+// problem for one data-parallel training iteration. Index 0 is layer 1.
+// SyncW[i] is the full synchronization time of layer i+1's weight gradient
+// (push+pull through the bottleneck link); zero disables the sync.
+//
+// SyncLag, if non-nil, is a per-layer completion lag added after the sync's
+// link service: the aggregation/straggler latency of waiting for every
+// node's push before the pull can complete. It delays when the sync is
+// *usable* without occupying the link. This is the §8.3 phenomenon — the
+// first layer's synchronization takes 350 ms on 16 GPUs even though its
+// tensor is small and prioritized.
+type IterCosts struct {
+	F, DO, DW []time.Duration
+	SyncW     []time.Duration
+	SyncLag   []time.Duration
+}
+
+// Layers returns L.
+func (c IterCosts) Layers() int { return len(c.F) }
+
+func (c IterCosts) validate() error {
+	L := len(c.F)
+	if len(c.DO) != L || len(c.DW) != L || len(c.SyncW) != L {
+		return fmt.Errorf("core: inconsistent IterCosts lengths F=%d dO=%d dW=%d S=%d",
+			len(c.F), len(c.DO), len(c.DW), len(c.SyncW))
+	}
+	if c.SyncLag != nil && len(c.SyncLag) != L {
+		return fmt.Errorf("core: SyncLag length %d, want %d", len(c.SyncLag), L)
+	}
+	return nil
+}
+
+func (c IterCosts) lag(layer int) time.Duration {
+	if c.SyncLag == nil {
+		return 0
+	}
+	return c.SyncLag[layer-1]
+}
+
+// IterResult reports the simulated execution of one iteration: the backward
+// pass in the given order, parameter synchronizations on a single
+// priority-scheduled communication channel, and the next iteration's forward
+// pass gated per layer on its synchronization (§2's objective T(F_L)+F_L).
+type IterResult struct {
+	// Makespan is the completion time of F_L — the §2 objective.
+	Makespan time.Duration
+	// BackwardEnd is when the last backward op finishes on the GPU.
+	BackwardEnd time.Duration
+	// SyncDone[i] is when layer i+1's weight synchronization completes.
+	SyncDone []time.Duration
+	// GPUIdle is the GPU time wasted waiting for synchronizations during the
+	// forward pass (the dark boxes of Fig 4).
+	GPUIdle time.Duration
+}
+
+// SimulateIteration executes one training iteration analytically.
+//
+// The GPU is a serial resource running the backward ops in the given order
+// back-to-back, then the forward ops F_1..F_L in layer order, each delayed
+// until its parameter synchronization completed. The network is a single
+// serial channel: layer i's sync becomes ready when δW_i completes and is
+// scheduled by ascending prio(i) (ties FIFO by ready time). With preemptive
+// set, an in-flight sync is preempted by a more urgent one at chunk
+// granularity (the BytePS/ByteScheduler behaviour); otherwise the channel is
+// run-to-completion (plain wait-free backpropagation).
+func SimulateIteration(c IterCosts, order graph.BackwardSchedule, prio func(layer int) int, preemptive bool) IterResult {
+	return SimulateIterationTraced(c, order, prio, preemptive, nil)
+}
+
+// SimulateIterationTraced is SimulateIteration with span recording: GPU ops
+// land on lane "GPU", communication chunks on lane "NET" (the Fig 4 layout).
+// tr may be nil.
+func SimulateIterationTraced(c IterCosts, order graph.BackwardSchedule, prio func(layer int) int, preemptive bool, tr *trace.Trace) IterResult {
+	if err := c.validate(); err != nil {
+		panic(err)
+	}
+	L := c.Layers()
+	if err := order.Validate(L); err != nil {
+		panic(err)
+	}
+	if prio == nil {
+		prio = func(int) int { return 0 }
+	}
+
+	// Backward pass: serial compute.
+	var t time.Duration
+	dwDone := make([]time.Duration, L+1)
+	for _, op := range order {
+		start := t
+		switch op.Kind {
+		case graph.OutGrad:
+			t += c.DO[op.Layer-1]
+		case graph.WeightGrad:
+			t += c.DW[op.Layer-1]
+			dwDone[op.Layer] = t
+		}
+		if tr != nil {
+			kind := "dO"
+			if op.Kind == graph.WeightGrad {
+				kind = "dW"
+			}
+			tr.Add("GPU", op.String(), kind, start, t)
+		}
+	}
+	backwardEnd := t
+
+	syncDone, segs := commTimeline(c, dwDone, prio, preemptive)
+	if tr != nil {
+		for _, s := range segs {
+			tr.Add("NET", fmt.Sprintf("S[dW]%d", s.layer), "comm", s.start, s.end)
+		}
+	}
+
+	// Forward pass: serial compute gated on syncs.
+	var idle time.Duration
+	t = backwardEnd
+	for i := 1; i <= L; i++ {
+		if syncDone[i] > t {
+			idle += syncDone[i] - t
+			t = syncDone[i]
+		}
+		start := t
+		t += c.F[i-1]
+		if tr != nil {
+			tr.Add("GPU", fmt.Sprintf("F%d", i), "fwd", start, t)
+		}
+	}
+	return IterResult{Makespan: t, BackwardEnd: backwardEnd, SyncDone: syncDone[1:], GPUIdle: idle}
+}
+
+// commSegment is one contiguous service interval of a sync on the channel.
+type commSegment struct {
+	layer      int
+	start, end time.Duration
+}
+
+// commTimeline computes when each layer's synchronization completes on a
+// single channel with the given discipline, plus the service segments.
+func commTimeline(c IterCosts, ready []time.Duration, prio func(int) int, preemptive bool) ([]time.Duration, []commSegment) {
+	L := c.Layers()
+	type task struct {
+		layer     int
+		ready     time.Duration
+		remaining time.Duration
+	}
+	var tasks []*task
+	for i := 1; i <= L; i++ {
+		if c.SyncW[i-1] > 0 {
+			tasks = append(tasks, &task{layer: i, ready: ready[i], remaining: c.SyncW[i-1]})
+		}
+	}
+	done := make([]time.Duration, L+1) // zero = no sync needed
+	var segs []commSegment
+	var now time.Duration
+	pendingCount := len(tasks)
+	for pendingCount > 0 {
+		// Next arrival after now, and the best ready task at now.
+		var best *task
+		nextArrival := time.Duration(-1)
+		for _, tk := range tasks {
+			if tk.remaining <= 0 {
+				continue
+			}
+			if tk.ready > now {
+				if nextArrival < 0 || tk.ready < nextArrival {
+					nextArrival = tk.ready
+				}
+				continue
+			}
+			if best == nil || prio(tk.layer) < prio(best.layer) ||
+				(prio(tk.layer) == prio(best.layer) && tk.ready < best.ready) {
+				best = tk
+			}
+		}
+		if best == nil {
+			now = nextArrival
+			continue
+		}
+		if preemptive && nextArrival >= 0 && nextArrival < now+best.remaining {
+			// Serve until the next arrival, then re-evaluate priorities.
+			served := nextArrival - now
+			best.remaining -= served
+			segs = append(segs, commSegment{best.layer, now, nextArrival})
+			now = nextArrival
+			if best.remaining <= 0 {
+				done[best.layer] = now + c.lag(best.layer)
+				pendingCount--
+			}
+			continue
+		}
+		segs = append(segs, commSegment{best.layer, now, now + best.remaining})
+		now += best.remaining
+		best.remaining = 0
+		done[best.layer] = now + c.lag(best.layer)
+		pendingCount--
+	}
+	return done, segs
+}
+
+// Throughput converts an iteration makespan and global batch size to
+// samples/second, the unit of the paper's throughput figures.
+func Throughput(makespan time.Duration, globalBatch int) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	return float64(globalBatch) / makespan.Seconds()
+}
+
+// SimulateIterationOverlapped extends SimulateIteration for the §6 combined
+// scheme "multi-stream ooo computation + reverse first-k": layers for which
+// overlapped(i) is true run their δW in a concurrent sub-stream, so the δW
+// costs leave the serial GPU timeline (the sub-stream keeps pace with the
+// main stream, per §4.1); their gradients become ready when the main stream
+// passes the point where the δW would have been issued. Layers with
+// overlapped(i) == false execute δW serially as usual — reverse first-k
+// places the critical first-k δW there.
+func SimulateIterationOverlapped(c IterCosts, order graph.BackwardSchedule,
+	prio func(layer int) int, preemptive bool, overlapped func(layer int) bool) IterResult {
+	if overlapped == nil {
+		return SimulateIteration(c, order, prio, preemptive)
+	}
+	adj := IterCosts{
+		F:       c.F,
+		DO:      c.DO,
+		DW:      make([]time.Duration, len(c.DW)),
+		SyncW:   c.SyncW,
+		SyncLag: c.SyncLag,
+	}
+	for i := range c.DW {
+		if !overlapped(i + 1) {
+			adj.DW[i] = c.DW[i]
+		}
+	}
+	return SimulateIteration(adj, order, prio, preemptive)
+}

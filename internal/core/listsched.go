@@ -1,0 +1,92 @@
+package core
+
+import (
+	"time"
+
+	"oooback/internal/graph"
+)
+
+// ListSchedule builds a backward order by simulation-guided list scheduling
+// over the §2 problem. It is the general heuristic the paper contrasts with
+// reverse first-k: it needs the synchronization times as input, whereas
+// Algorithm 2 only needs k (§5.1's closing discussion).
+//
+// At every step the scheduler considers the ready operations — the next
+// output gradient on the critical δO chain plus every weight gradient whose
+// incoming gradient exists — and, for each, evaluates the makespan of the
+// candidate prefix completed with a default continuation (the remaining δO
+// chain, then the remaining δW in ascending layer order, i.e. most-critical
+// synchronization first). The candidate with the smallest evaluated makespan
+// is committed. Communication is evaluated with preemptive per-layer
+// priority, matching the engine it targets.
+func ListSchedule(c IterCosts) graph.BackwardSchedule {
+	L := c.Layers()
+	prio := func(layer int) int { return layer }
+
+	pending := make([]bool, L+1)
+	for i := 1; i <= L; i++ {
+		pending[i] = true
+	}
+	prefix := make(graph.BackwardSchedule, 0, 2*L)
+	nextDO := L
+
+	complete := func(p graph.BackwardSchedule, nDO int, pend []bool) graph.BackwardSchedule {
+		out := make(graph.BackwardSchedule, len(p), 2*L)
+		copy(out, p)
+		for i := nDO; i >= 1; i-- {
+			out = append(out, graph.Op{Kind: graph.OutGrad, Layer: i})
+		}
+		for i := 1; i <= L; i++ {
+			if pend[i] {
+				out = append(out, graph.Op{Kind: graph.WeightGrad, Layer: i})
+			}
+		}
+		return out
+	}
+	evaluate := func(p graph.BackwardSchedule, nDO int, pend []bool) time.Duration {
+		return SimulateIteration(c, complete(p, nDO, pend), prio, true).Makespan
+	}
+
+	for len(prefix) < 2*L {
+		type cand struct {
+			op   graph.Op
+			cost time.Duration
+		}
+		var best *cand
+		consider := func(op graph.Op) {
+			p := append(prefix, op)
+			nDO := nextDO
+			if op.Kind == graph.OutGrad {
+				nDO--
+			}
+			var cost time.Duration
+			if op.Kind == graph.WeightGrad {
+				pending[op.Layer] = false
+				cost = evaluate(p, nDO, pending)
+				pending[op.Layer] = true
+			} else {
+				cost = evaluate(p, nDO, pending)
+			}
+			// Ties prefer the δO chain (shortest critical path), then lower
+			// layers (most urgent sync).
+			if best == nil || cost < best.cost {
+				best = &cand{op, cost}
+			}
+		}
+		if nextDO >= 1 {
+			consider(graph.Op{Kind: graph.OutGrad, Layer: nextDO})
+		}
+		for i := nextDO; i <= L; i++ {
+			if pending[i] {
+				consider(graph.Op{Kind: graph.WeightGrad, Layer: i})
+			}
+		}
+		prefix = append(prefix, best.op)
+		if best.op.Kind == graph.OutGrad {
+			nextDO--
+		} else {
+			pending[best.op.Layer] = false
+		}
+	}
+	return prefix
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"time"
+)
+
+// JointInput is the input to multi-region joint scheduling (Algorithm 1).
+// The main-stream kernel schedule has been split into N regions (§4.1 uses
+// one region per DenseBlock / ResNet stage); the algorithm assigns the
+// deferred δW kernels to regions so that co-scheduling speedups are
+// maximized.
+type JointInput struct {
+	// TMain[i] is the total main-stream execution time of region i.
+	TMain []time.Duration
+	// Layers lists the layer indices whose δW kernels need placement (the
+	// pseudocode's U = {δW_2 … δW_L}).
+	Layers []int
+	// Earliest[l] is the first region index in which δW of layer l may run:
+	// the region containing (or following) the δO computation it depends on.
+	Earliest map[int]int
+	// TSub(l, r) is the execution time of layer l's δW kernel when run in
+	// the sub-stream during region r.
+	TSub func(layer, region int) time.Duration
+	// Speedup(l, r) is the profiled speedup of co-running layer l's δW with
+	// region r's main-stream kernels, relative to running them sequentially
+	// (step 1 of §4.1's procedure). Higher is better; 1.0 means no benefit.
+	Speedup func(layer, region int) float64
+}
+
+// JointSchedule is the sub-stream plan: Regions[r] lists the δW layer
+// indices to run (in order) during region r. Overflow lists kernels that did
+// not fit in any region's time budget and run after the last region drains.
+type JointSchedule struct {
+	Regions  [][]int
+	Overflow []int
+}
+
+// MultiRegionJoint implements Algorithm 1. It greedily picks, across all
+// still-open regions, the (region, δW) pair with the highest profiled
+// speedup, appends the kernel to that region's sub-stream schedule, advances
+// the region's simulated timeline (now[i]), and closes the region once its
+// sub-stream time reaches the region's main-stream time. Kernels that remain
+// when every region is closed are returned as overflow (they run in the
+// sub-stream after the backward pass, overlapping the next forward pass —
+// the Fig 8 DenseBlock-4 situation).
+func MultiRegionJoint(in JointInput) JointSchedule {
+	n := len(in.TMain)
+	out := JointSchedule{Regions: make([][]int, n)}
+	now := make([]time.Duration, n)
+	open := make([]bool, n)
+	for i := range open {
+		open[i] = true
+	}
+	remaining := make(map[int]bool, len(in.Layers))
+	order := make([]int, len(in.Layers))
+	copy(order, in.Layers)
+	for _, l := range order {
+		remaining[l] = true
+	}
+
+	for len(remaining) > 0 {
+		bestRegion, bestLayer := -1, 0
+		bestSpeedup := 0.0
+		for r := 0; r < n; r++ {
+			if !open[r] {
+				continue
+			}
+			// Find the runnable δW with max speedup in this region
+			// (pseudocode lines 4–6). Iterate in the caller's layer order for
+			// determinism.
+			for _, l := range order {
+				if !remaining[l] || in.Earliest[l] > r {
+					continue
+				}
+				p := in.Speedup(l, r)
+				if p > bestSpeedup {
+					bestSpeedup, bestRegion, bestLayer = p, r, l
+				}
+			}
+		}
+		if bestRegion < 0 {
+			break // nothing placeable: all regions closed or deps unmet
+		}
+		out.Regions[bestRegion] = append(out.Regions[bestRegion], bestLayer)
+		delete(remaining, bestLayer)
+		now[bestRegion] += in.TSub(bestLayer, bestRegion)
+		if now[bestRegion] >= in.TMain[bestRegion] {
+			open[bestRegion] = false
+		}
+	}
+	// Leftovers spill past the end in dependency-respecting caller order.
+	for _, l := range order {
+		if remaining[l] {
+			out.Overflow = append(out.Overflow, l)
+		}
+	}
+	return out
+}
+
+// PairSpeedup estimates the co-scheduling speedup of a δW kernel with a
+// region's main-stream kernels from their thread-block occupancies — the
+// quantity the paper obtains by profiling concurrent runs (§4.1 step 1).
+// mainBlocks is the typical per-kernel thread-block count in the region,
+// subBlocks that of the δW kernel, capacity the device-wide resident limit.
+//
+// When the main kernels leave slack (mainBlocks < capacity), the sub kernel
+// proceeds at min(1, slack/subBlocks) of full rate for free, so running the
+// pair concurrently takes max(tMain, tMain + leftover) instead of
+// tMain + tSub. The returned value is (tMain+tSub)/tConcurrent ∈ [1, 2].
+func PairSpeedup(mainBlocks, subBlocks, capacity int, tMain, tSub time.Duration) float64 {
+	if tMain <= 0 || tSub <= 0 {
+		return 1
+	}
+	slack := capacity - mainBlocks
+	if slack < 0 {
+		slack = 0
+	}
+	// Saturated main kernels still leak tail slots to the sub-stream as
+	// their blocks retire (gpusim.TailSlotFraction models the same effect).
+	if tail := int(0.07 * float64(capacity)); slack < tail {
+		slack = tail
+	}
+	rate := 1.0
+	if subBlocks > 0 && slack < subBlocks {
+		rate = float64(slack) / float64(subBlocks)
+	}
+	progressed := time.Duration(float64(tMain) * rate)
+	var concurrent time.Duration
+	if progressed >= tSub {
+		concurrent = tMain
+	} else {
+		concurrent = tMain + (tSub - progressed)
+	}
+	return float64(tMain+tSub) / float64(concurrent)
+}

@@ -1,0 +1,84 @@
+// Package dash serves the experiment suite over HTTP (used by cmd/ooodash).
+// It renders an index of every registered experiment and runs them on
+// demand, caching the reports (they are deterministic).
+package dash
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"sync"
+
+	"oooback/internal/experiments"
+)
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>ooo-backprop experiments</title>
+<style>
+body { font-family: monospace; margin: 2em; max-width: 70em; }
+td { padding: 0.2em 1em 0.2em 0; }
+a { text-decoration: none; }
+</style></head>
+<body>
+<h1>Out-Of-Order BackProp — reproduced experiments</h1>
+<p>Every table and figure of the paper's evaluation, regenerated on the
+simulated substrates. Reports are deterministic and cached.</p>
+<table>
+{{range .}}<tr><td><a href="/exp/{{.ID}}">{{.ID}}</a></td><td>{{.Title}}</td></tr>
+{{end}}</table>
+</body></html>`))
+
+var reportTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html><head><title>{{.ID}}</title>
+<style>body { font-family: monospace; margin: 2em; }</style></head>
+<body>
+<p><a href="/">&larr; index</a></p>
+<h1>{{.ID}}: {{.Title}}</h1>
+<pre>{{.Report}}</pre>
+</body></html>`))
+
+// Handler returns the dashboard's HTTP handler.
+func Handler() http.Handler {
+	var mu sync.Mutex
+	cache := map[string]string{}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		var rows []experiments.Experiment
+		for _, id := range experiments.IDs() {
+			e, _ := experiments.Get(id)
+			rows = append(rows, e)
+		}
+		if err := indexTmpl.Execute(w, rows); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/exp/", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Path[len("/exp/"):]
+		e, ok := experiments.Get(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
+			return
+		}
+		mu.Lock()
+		report, hit := cache[id]
+		mu.Unlock()
+		if !hit {
+			report = e.Run()
+			mu.Lock()
+			cache[id] = report
+			mu.Unlock()
+		}
+		err := reportTmpl.Execute(w, struct {
+			ID, Title, Report string
+		}{e.ID, e.Title, report})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

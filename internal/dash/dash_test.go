@@ -1,0 +1,67 @@
+package dash
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestIndexListsExperiments(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	code, body := get(t, srv, "/")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, id := range []string{"fig7", "fig10", "fig13a", "semantics"} {
+		if !strings.Contains(body, "/exp/"+id) {
+			t.Fatalf("index missing %s:\n%s", id, body)
+		}
+	}
+}
+
+func TestExperimentPageRendersReport(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	code, body := get(t, srv, "/exp/fig4")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, "makespan") {
+		t.Fatalf("fig4 report missing content:\n%s", body)
+	}
+	// Second fetch hits the cache (still OK and identical content marker).
+	code2, body2 := get(t, srv, "/exp/fig4")
+	if code2 != http.StatusOK || body2 != body {
+		t.Fatal("cached fetch differs")
+	}
+}
+
+func TestUnknownExperiment404(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	code, _ := get(t, srv, "/exp/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", code)
+	}
+	code, _ = get(t, srv, "/bogus")
+	if code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", code)
+	}
+}

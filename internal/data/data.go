@@ -1,0 +1,66 @@
+// Package data generates deterministic synthetic datasets standing in for
+// the paper's CIFAR-100 / ImageNet / IWSLT / MNLI / OpenWebText (none of
+// which matter for the reproduced measurements — throughput experiments see
+// only tensor shapes, and the semantics experiments only need a fixed
+// learnable task).
+package data
+
+import "oooback/internal/tensor"
+
+// Images synthesizes a class-conditional image classification task:
+// each class has a random mean pattern; samples are mean + unit noise.
+// The task is learnable by a small CNN, which is what the semantics
+// experiments need (loss must fall, identically, under every schedule).
+func Images(seed uint64, n, c, h, w, classes int) (*tensor.Tensor, []int) {
+	rng := tensor.NewRNG(seed)
+	means := make([]*tensor.Tensor, classes)
+	for k := range means {
+		means[k] = tensor.Randn(rng, 1.5, c, h, w)
+	}
+	x := tensor.New(n, c, h, w)
+	labels := make([]int, n)
+	per := c * h * w
+	for i := 0; i < n; i++ {
+		k := int(rng.Uint64() % uint64(classes))
+		labels[i] = k
+		for j := 0; j < per; j++ {
+			x.Data[i*per+j] = means[k].Data[j] + rng.Norm()*0.5
+		}
+	}
+	return x, labels
+}
+
+// Vectors synthesizes a linearly-separable-ish vector classification task
+// for MLP tests: class means on coordinate axes plus noise.
+func Vectors(seed uint64, n, dim, classes int) (*tensor.Tensor, []int) {
+	rng := tensor.NewRNG(seed)
+	x := tensor.New(n, dim)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		k := int(rng.Uint64() % uint64(classes))
+		labels[i] = k
+		for j := 0; j < dim; j++ {
+			v := rng.Norm()
+			if j%classes == k {
+				v += 2.5
+			}
+			x.Data[i*dim+j] = v
+		}
+	}
+	return x, labels
+}
+
+// Tokens synthesizes integer token sequences in [0, vocab) for NLP-shaped
+// tests.
+func Tokens(seed uint64, n, seqLen, vocab int) [][]int {
+	rng := tensor.NewRNG(seed)
+	out := make([][]int, n)
+	for i := range out {
+		seq := make([]int, seqLen)
+		for j := range seq {
+			seq[j] = int(rng.Uint64() % uint64(vocab))
+		}
+		out[i] = seq
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestImagesDeterministic(t *testing.T) {
+	x1, y1 := Images(42, 10, 3, 8, 8, 4)
+	x2, y2 := Images(42, 10, 3, 8, 8, 4)
+	for i := range x1.Data {
+		if x1.Data[i] != x2.Data[i] {
+			t.Fatal("same seed produced different images")
+		}
+	}
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+	x3, _ := Images(43, 10, 3, 8, 8, 4)
+	same := true
+	for i := range x1.Data {
+		if x1.Data[i] != x3.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestImagesShapesAndLabels(t *testing.T) {
+	x, y := Images(1, 6, 2, 5, 7, 3)
+	want := []int{6, 2, 5, 7}
+	for i := range want {
+		if x.Shape[i] != want[i] {
+			t.Fatalf("shape = %v", x.Shape)
+		}
+	}
+	if len(y) != 6 {
+		t.Fatalf("labels = %d", len(y))
+	}
+	for _, l := range y {
+		if l < 0 || l >= 3 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestVectorsLabelsInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		_, y := Vectors(seed, 20, 8, 5)
+		for _, l := range y {
+			if l < 0 || l >= 5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokens(t *testing.T) {
+	seqs := Tokens(7, 4, 16, 100)
+	if len(seqs) != 4 {
+		t.Fatalf("sequences = %d", len(seqs))
+	}
+	for _, s := range seqs {
+		if len(s) != 16 {
+			t.Fatalf("seq len = %d", len(s))
+		}
+		for _, tok := range s {
+			if tok < 0 || tok >= 100 {
+				t.Fatalf("token %d out of range", tok)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package datapar
+
+import (
+	"testing"
+
+	"oooback/internal/models"
+)
+
+func TestBucketedCostsConserveBytesish(t *testing.T) {
+	// Total link occupancy with buckets must be no more than per-tensor
+	// (fewer latency terms) and within the same ballpark.
+	m := resnet50(128)
+	cl := PubA()
+	per := Costs(m, cl, 16, BytePS)
+	bucketed := BucketedCosts(m, cl, 16, 25<<20)
+	var perSum, bucketSum int64
+	for i := range per.SyncW {
+		perSum += int64(per.SyncW[i])
+		bucketSum += int64(bucketed.SyncW[i])
+	}
+	if bucketSum > perSum {
+		t.Fatalf("bucketing increased link occupancy: %d vs %d", bucketSum, perSum)
+	}
+	if bucketSum < perSum/2 {
+		t.Fatalf("bucketing lost too much volume: %d vs %d", bucketSum, perSum)
+	}
+}
+
+func TestBucketedDegenerateCases(t *testing.T) {
+	m := resnet50(64)
+	cl := PubA()
+	single := BucketedCosts(m, cl, 1, 25<<20)
+	for _, s := range single.SyncW {
+		if s != 0 {
+			t.Fatal("single worker should need no sync")
+		}
+	}
+}
+
+// TestReverseKOnTopOfBucketing reproduces the DDP-comparison point: gradient
+// bucketing amortizes latency, but the critical first-layer bucket is still
+// the last to become ready — reverse first-k composes with bucketing and
+// recovers additional throughput.
+func TestReverseKOnTopOfBucketing(t *testing.T) {
+	m := resnet50(128)
+	cl := PubA()
+	const bucket = 25 << 20
+	plain := RunBucketed(m, cl, 16, bucket, 0)
+	withK := RunBucketed(m, cl, 16, bucket, 40)
+	if withK.Throughput < plain.Throughput {
+		t.Fatalf("reverse-k hurt bucketing: %v vs %v", withK.Throughput, plain.Throughput)
+	}
+	if withK.Sync1 >= plain.Sync1 {
+		t.Fatalf("reverse-k did not advance the critical bucket: %v vs %v", withK.Sync1, plain.Sync1)
+	}
+}
+
+func TestBucketingHelpsLatencyBoundModels(t *testing.T) {
+	// MobileNet's many tiny tensors pay per-collective latency; bucketing
+	// should recover throughput relative to per-tensor sync under the same
+	// scheduler.
+	m := models.MobileNetV3Large(models.V100Profile(), 0.5, 64, models.ImageNet)
+	cl := PubA()
+	perTensor := Run(m, cl, 16, BytePS)
+	bucketed := RunBucketed(m, cl, 16, 25<<20, 0)
+	if bucketed.Throughput < perTensor.Throughput*0.95 {
+		t.Fatalf("bucketing collapsed: %v vs %v", bucketed.Throughput, perTensor.Throughput)
+	}
+}

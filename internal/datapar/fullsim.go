@@ -1,0 +1,225 @@
+package datapar
+
+import (
+	"fmt"
+	"time"
+
+	"oooback/internal/graph"
+	"oooback/internal/models"
+	"oooback/internal/netsim"
+	"oooback/internal/sim"
+)
+
+// FullSim simulates every worker of a BytePS-style data-parallel job
+// explicitly — per-worker compute, per-NIC chunked priority links, and
+// co-located parameter-server shards with push/aggregate/pull semantics —
+// rather than the single-representative-worker analytic model of Run. It
+// exists to cross-validate the analytic model: with the aggregation lag
+// disabled, the two should agree closely (see TestFullSimMatchesAnalytic).
+//
+// Topology: each worker owns a full-duplex NIC (an up link and a down link).
+// Every tensor is sharded across all N workers' co-located servers. For
+// tensor t of size |t|, a worker pushes (N−1)/N·|t| off-node through its up
+// link as N−1 shard messages; each server receives N−1 such messages on its
+// down link, and aggregation of a shard completes when all pushes arrived.
+// The pull phase mirrors it. A worker's next-iteration F_i waits for its
+// pull of tensor i.
+type FullSimResult struct {
+	// IterTime is the makespan of one iteration (backward + synchronized
+	// next forward) across all workers.
+	IterTime time.Duration
+	// Throughput is global samples/second.
+	Throughput float64
+}
+
+// FullSim runs one explicitly-simulated iteration with lockstep workers.
+func FullSim(m *models.Model, cl Cluster, workers int, order graph.BackwardSchedule) FullSimResult {
+	return FullSimSkewed(m, cl, workers, order, nil)
+}
+
+// FullSimSkewed is FullSim with per-worker compute skew: worker w's op
+// durations are scaled by (1 + skew[w]). Stragglers delay every tensor's
+// aggregation until their push arrives — the phenomenon the analytic model
+// folds into AggregationLag; TestSkewProducesAggregationLag closes the loop
+// by measuring the emergent lag against the modelled one.
+func FullSimSkewed(m *models.Model, cl Cluster, workers int, order graph.BackwardSchedule, skew []float64) FullSimResult {
+	if workers < 1 {
+		panic("datapar: need at least one worker")
+	}
+	if skew != nil && len(skew) != workers {
+		panic("datapar: skew length must match workers")
+	}
+	scale := func(w int, d time.Duration) time.Duration {
+		if skew == nil {
+			return d
+		}
+		return time.Duration(float64(d) * (1 + skew[w]))
+	}
+	L := len(m.Layers)
+	if err := order.Validate(L); err != nil {
+		panic(fmt.Sprintf("datapar: %v", err))
+	}
+	eng := sim.New()
+
+	spec := cl.NIC
+	if workers <= cl.PerNode {
+		spec = cl.Intra
+	}
+
+	type worker struct {
+		up, down *netsim.Link
+		compute  *sim.Server
+		// pullDone[i] fires when this worker holds tensor i's fresh value.
+		pullDone []*sim.Gate
+		fwdFrom  int // next forward layer allowed to start
+	}
+	ws := make([]*worker, workers)
+	for w := range ws {
+		ws[w] = &worker{
+			up:       netsim.NewLink(eng, spec),
+			down:     netsim.NewLink(eng, spec),
+			compute:  sim.NewServer(eng),
+			pullDone: make([]*sim.Gate, L+1),
+		}
+	}
+
+	var end sim.Time
+	finishers := 0
+	workerDone := func() {
+		finishers++
+		if finishers == workers {
+			end = eng.Now()
+		}
+	}
+
+	if workers == 1 {
+		// Degenerate case: pure compute.
+		w := ws[0]
+		for _, op := range order {
+			i := op.Layer
+			d := m.Layers[i-1].DO
+			if op.Kind == graph.WeightGrad {
+				d = m.Layers[i-1].DW
+			}
+			w.compute.Submit(0, scale(0, d), nil)
+		}
+		for i := 1; i <= L; i++ {
+			w.compute.Submit(0, scale(0, m.Layers[i-1].Fwd), nil)
+		}
+		w.compute.Submit(0, 0, func(_, _ sim.Time) { workerDone() })
+		eng.Run()
+		return FullSimResult{IterTime: end, Throughput: float64(m.Batch) / end.Seconds()}
+	}
+
+	n := int64(workers)
+	// Per-tensor aggregation gates (one per server shard): each expects the
+	// push legs from every non-owner worker; when complete, pulls fan out.
+	aggGate := make([][]*sim.Gate, L+1)
+	shardOf := func(i int) int64 {
+		bytes := m.Layers[i-1].ParamBytes
+		if bytes == 0 {
+			return 0
+		}
+		shard := bytes / n
+		if shard == 0 {
+			shard = 1
+		}
+		return shard
+	}
+	for i := 1; i <= L; i++ {
+		i := i
+		shard := shardOf(i)
+		aggGate[i] = make([]*sim.Gate, workers)
+		for srv := 0; srv < workers; srv++ {
+			srv := srv
+			if shard == 0 {
+				continue
+			}
+			// (N−1) push legs × 2 links each, plus the owner's local gradient.
+			aggGate[i][srv] = sim.NewGate((workers-1)*2+1, func() {
+				for d := 0; d < workers; d++ {
+					if d == srv {
+						if g := ws[d].pullDone[i]; g != nil {
+							g.Done()
+						}
+						continue
+					}
+					d := d
+					ws[srv].up.Transfer(fmt.Sprintf("pull%d", i), shard, i, func() {
+						ws[d].down.Transfer(fmt.Sprintf("pull%d", i), shard, i, func() {
+							if g := ws[d].pullDone[i]; g != nil {
+								g.Done()
+							}
+						})
+					})
+				}
+			})
+		}
+	}
+
+	// pushTensor sends worker w's shards of tensor i to every server; called
+	// when w's own δW_i completes (workers may be skewed).
+	pushTensor := func(w, i int) {
+		shard := shardOf(i)
+		if shard == 0 {
+			if g := ws[w].pullDone[i]; g != nil {
+				g.Done()
+			}
+			return
+		}
+		for srv := 0; srv < workers; srv++ {
+			if srv == w {
+				// The worker's own shard contribution is local.
+				aggGate[i][w].Done()
+				continue
+			}
+			srv := srv
+			ws[w].up.Transfer(fmt.Sprintf("push%d", i), shard, i, func() { aggGate[i][srv].Done() })
+			ws[srv].down.Transfer(fmt.Sprintf("push%d", i), shard, i, func() { aggGate[i][srv].Done() })
+		}
+	}
+
+	// Each worker: backward ops serially; its own δW completion pushes its
+	// gradient shards; forward ops gated on pulls, in layer order.
+	for idx, w := range ws {
+		idx, w := idx, w
+		for _, op := range order {
+			op := op
+			i := op.Layer
+			var d time.Duration
+			if op.Kind == graph.OutGrad {
+				d = m.Layers[i-1].DO
+			} else {
+				d = m.Layers[i-1].DW
+			}
+			w.compute.Submit(0, scale(idx, d), func(_, _ sim.Time) {
+				if op.Kind == graph.WeightGrad {
+					pushTensor(idx, i)
+				}
+			})
+		}
+		// Forward: F_i needs every shard of tensor i (one aggregated locally
+		// plus N−1 pulled) and F_{i-1}'s completion. Every gate is created up
+		// front (sync completions arrive in any order); F_1 skips the chain
+		// dependency — the FIFO compute queue already serializes it behind
+		// the backward ops submitted above.
+		for i := 1; i <= L; i++ {
+			i := i
+			need := workers + 1 // N shard completions + F_{i-1}
+			if i == 1 {
+				need = workers
+			}
+			w.pullDone[i] = sim.NewGate(need, func() {
+				w.compute.Submit(0, scale(idx, m.Layers[i-1].Fwd), func(_, _ sim.Time) {
+					if i < L {
+						w.pullDone[i+1].Done()
+					} else {
+						workerDone()
+					}
+				})
+			})
+		}
+	}
+	eng.Run()
+	return FullSimResult{IterTime: end, Throughput: float64(m.Batch*workers) / end.Seconds()}
+}

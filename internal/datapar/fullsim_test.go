@@ -1,0 +1,118 @@
+package datapar
+
+import (
+	"testing"
+	"time"
+
+	"oooback/internal/core"
+	"oooback/internal/graph"
+	"oooback/internal/models"
+)
+
+func TestFullSimSingleWorkerIsPureCompute(t *testing.T) {
+	m := resnet50(64)
+	r := FullSim(m, PrivB(), 1, graph.Conventional(len(m.Layers)))
+	if r.IterTime != m.IterTime() {
+		t.Fatalf("iter = %v, want %v", r.IterTime, m.IterTime())
+	}
+}
+
+// TestFullSimMatchesAnalytic cross-validates the explicit multi-worker
+// simulation against the analytic single-worker model (with the aggregation
+// lag disabled — FullSim's lockstep workers have no stragglers). The two
+// models make different approximations (explicit per-NIC queueing vs one
+// serialized channel with a contention factor), so agreement within ±35%
+// validates both.
+func TestFullSimMatchesAnalytic(t *testing.T) {
+	m := models.ResNet(models.TitanXPProfile(), 50, 64, models.ImageNet)
+	cl := PrivA() // 10 GbE keeps communication on the critical path
+	for _, workers := range []int{2, 4, 8} {
+		order := graph.Conventional(len(m.Layers))
+		full := FullSim(m, cl, workers, order)
+
+		c := Costs(m, cl, workers, BytePS)
+		c.SyncLag = nil // lockstep: no stragglers
+		analytic := core.SimulateIteration(c, order, func(l int) int { return l }, true)
+
+		ratio := float64(full.IterTime) / float64(analytic.Makespan)
+		if ratio < 0.65 || ratio > 1.35 {
+			t.Errorf("workers=%d: full=%v analytic=%v ratio=%.2f outside ±35%%",
+				workers, full.IterTime, analytic.Makespan, ratio)
+		}
+	}
+}
+
+func TestFullSimReverseKHelpsToo(t *testing.T) {
+	// The reverse first-k benefit must also appear in the explicit
+	// simulation, not just the analytic model.
+	m := models.ResNet(models.P100Profile(), 50, 64, models.ImageNet)
+	cl := PrivB()
+	L := len(m.Layers)
+	conv := FullSim(m, cl, 8, graph.Conventional(L))
+	rev := FullSim(m, cl, 8, core.ReverseFirstK(m, 40, 0))
+	if rev.IterTime > conv.IterTime+time.Millisecond {
+		t.Fatalf("reverse-k hurt the full sim: %v vs %v", rev.IterTime, conv.IterTime)
+	}
+}
+
+func TestFullSimScalesThroughput(t *testing.T) {
+	m := models.ResNet(models.P100Profile(), 50, 64, models.ImageNet)
+	cl := PrivB()
+	order := graph.Conventional(len(m.Layers))
+	t4 := FullSim(m, cl, 4, order)
+	t16 := FullSim(m, cl, 16, order)
+	if t16.Throughput <= t4.Throughput {
+		t.Fatalf("throughput should grow with workers: %v vs %v", t4.Throughput, t16.Throughput)
+	}
+}
+
+func TestFullSimRejectsIllegalOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for illegal schedule")
+		}
+	}()
+	m := resnet50(64)
+	FullSim(m, PrivB(), 2, graph.BackwardSchedule{{Kind: graph.WeightGrad, Layer: 1}})
+}
+
+// TestSkewProducesAggregationLag closes the modelling loop: the analytic
+// model *assumes* a per-sync aggregation lag (AggregationLag) caused by
+// worker staggering; the explicit simulation with skewed workers produces
+// the same phenomenon from first principles. One straggler running s% slower
+// must stretch the iteration by roughly s% of backward compute — every
+// tensor's aggregation waits for its push.
+func TestSkewProducesAggregationLag(t *testing.T) {
+	m := models.ResNet(models.P100Profile(), 50, 64, models.ImageNet)
+	cl := PrivB()
+	order := graph.Conventional(len(m.Layers))
+	workers := 8
+
+	even := FullSimSkewed(m, cl, workers, order, nil)
+	skew := make([]float64, workers)
+	skew[3] = 0.25 // one straggler, 25% slower
+	skewed := FullSimSkewed(m, cl, workers, order, skew)
+
+	if skewed.IterTime <= even.IterTime {
+		t.Fatalf("straggler did not slow the job: %v vs %v", skewed.IterTime, even.IterTime)
+	}
+	emergent := skewed.IterTime - even.IterTime
+	// The straggler stretches its own compute by 25%; the collective cannot
+	// complete without it, so the emergent lag is on the order of 25% of the
+	// iteration compute — within a factor of the AggregationLag the analytic
+	// model would charge.
+	bwd := m.TotalBackward()
+	if emergent < bwd/8 || emergent > bwd {
+		t.Fatalf("emergent lag %v outside [bwd/8, bwd] = [%v, %v]", emergent, bwd/8, bwd)
+	}
+}
+
+func TestSkewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong skew length")
+		}
+	}()
+	m := resnet50(64)
+	FullSimSkewed(m, PrivB(), 4, graph.Conventional(len(m.Layers)), []float64{0.1})
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oooback/internal/core"
+	"oooback/internal/datapar"
+	"oooback/internal/graph"
+	"oooback/internal/models"
+	"oooback/internal/stats"
+)
+
+func init() {
+	register("crossval", "cross-validation: analytic data-parallel model vs explicit multi-worker simulation", CrossVal)
+}
+
+// CrossVal compares the analytic single-representative-worker model (used by
+// the Fig 10 sweeps) against the explicit simulation of every worker, NIC
+// and parameter-server shard. The aggregation lag is disabled on the
+// analytic side because the explicit simulation's lockstep workers have no
+// stragglers; the residual difference measures the queueing approximations.
+func CrossVal() string {
+	m := models.ResNet(models.TitanXPProfile(), 50, 64, models.ImageNet)
+	cl := datapar.PrivA() // 10 GbE: communication-stressed
+	L := len(m.Layers)
+	t := stats.NewTable("workers", "schedule", "analytic", "full sim", "full/analytic")
+	for _, w := range []int{2, 4, 8} {
+		for _, sc := range []struct {
+			name  string
+			order graph.BackwardSchedule
+		}{
+			{"conventional", graph.Conventional(L)},
+			{"reverse-first-40", core.ReverseFirstK(m, 40, 0)},
+		} {
+			c := datapar.Costs(m, cl, w, datapar.BytePS)
+			c.SyncLag = nil
+			an := core.SimulateIteration(c, sc.order, func(l int) int { return l }, true)
+			full := datapar.FullSim(m, cl, w, sc.order)
+			t.Add(w, sc.name, an.Makespan.Round(fmtMS).String(), full.IterTime.Round(fmtMS).String(),
+				fmt.Sprintf("%.2f", float64(full.IterTime)/float64(an.Makespan)))
+		}
+	}
+	return t.String() + "\nThe analytic model serializes communication on one contended channel; the\nfull simulation routes every shard message over per-worker NICs. Agreement\nwithin tens of percent validates the Fig 10 methodology.\n"
+}
+
+const fmtMS = 1e5 // 0.1 ms rounding for display

@@ -1,0 +1,91 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§8) on the simulated substrates. Each experiment is a named
+// function returning a printable report; cmd/oooexp runs them by id and the
+// root bench_test.go wraps them in testing.B benchmarks.
+//
+// Absolute numbers are synthetic (the substrate is a simulator, not the
+// authors' testbed); EXPERIMENTS.md records the paper-vs-measured comparison
+// for every experiment.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Experiment is one reproducible evaluation artifact.
+type Experiment struct {
+	// ID is the lookup key ("fig7", "fig13a", ...).
+	ID string
+	// Title summarizes what the paper item shows.
+	Title string
+	// Run produces the report.
+	Run func() string
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, title string, run func() string) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs returns all experiment ids in sorted order.
+func IDs() []string {
+	var ids []string
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunAll executes every experiment and concatenates the reports.
+func RunAll() string {
+	var b strings.Builder
+	for _, id := range IDs() {
+		e := registry[id]
+		fmt.Fprintf(&b, "==== %s: %s ====\n%s\n", e.ID, e.Title, e.Run())
+	}
+	return b.String()
+}
+
+// RunAllParallel runs every experiment concurrently on up to `workers`
+// goroutines and concatenates the reports in the same deterministic (id)
+// order as RunAll. Experiments are independent, deterministic simulations,
+// so the output is identical to the sequential run.
+func RunAllParallel(workers int) string {
+	if workers < 1 {
+		workers = 1
+	}
+	ids := IDs()
+	reports := make([]string, len(ids))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		i, e := i, registry[id]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			reports[i] = fmt.Sprintf("==== %s: %s ====\n%s\n", e.ID, e.Title, e.Run())
+		}()
+	}
+	wg.Wait()
+	var b strings.Builder
+	for _, r := range reports {
+		b.WriteString(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment snapshots")
+
+// goldenIDs are deterministic, fast experiments whose exact output is pinned.
+// The snapshots guard the calibrated numbers against accidental regression;
+// intentional recalibration regenerates them with `go test -run Golden
+// -update ./internal/experiments`.
+var goldenIDs = []string{
+	"fig1", "fig4", "fig7", "fig10", "fig11a", "fig12", "fig13a",
+	"setup", "xla-fusion", "ablation-ksweep",
+}
+
+func TestGoldenSnapshots(t *testing.T) {
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := Get(id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			got := e.Run()
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output changed; if intentional, regenerate with -update.\n--- got ---\n%s\n--- want ---\n%s",
+					id, got, want)
+			}
+		})
+	}
+}

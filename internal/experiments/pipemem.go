@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oooback/internal/core"
+	"oooback/internal/models"
+	"oooback/internal/netsim"
+	"oooback/internal/pipepar"
+	"oooback/internal/stats"
+)
+
+func init() {
+	register("mem-pipeline", "§8.4.1 memory: fast-forwarding overhead and the modulo-allocation fix", MemPipeline)
+}
+
+// MemPipeline reproduces the §8.4.1 memory paragraph: gradient
+// fast-forwarding retains the delayed computations' tensors (the paper
+// measured up to +11% for BERT on 4×V100), while modulo allocation hands
+// gradients downstream and computes δW promptly, pulling the residency back
+// toward the GPipe baseline.
+func MemPipeline() string {
+	m := models.VocabParallelHead(models.BERT(models.V100Profile(), 24, 128, 96), 4)
+	L := len(m.Layers)
+	run := func(ff, modulo bool) pipepar.Result {
+		alloc := pipepar.BalancedContiguous(m, 4)
+		if modulo {
+			alloc = core.ModuloAllocation(L, 4, 1)
+		}
+		return pipepar.Run(m, pipepar.Config{
+			GPUs: 4, MicroBatches: 4, Alloc: alloc, FastForward: ff,
+			Schedule: pipepar.GPipe, Link: netsim.NVLink(),
+		})
+	}
+	gp := run(false, false)
+	ff := run(true, false)
+	mod := run(true, true)
+	t := stats.NewTable("system", "peak per-GPU tensors (MB)", "vs GPipe")
+	for _, row := range []struct {
+		name string
+		r    pipepar.Result
+	}{{"GPipe", gp}, {"OOO-Pipe1 (fast-forwarding)", ff}, {"OOO-Pipe2 (+modulo)", mod}} {
+		t.Add(row.name, fmt.Sprintf("%.1f", float64(row.r.PeakActBytes)/(1<<20)),
+			fmt.Sprintf("%+.1f%%", 100*(float64(row.r.PeakActBytes)/float64(gp.PeakActBytes)-1)))
+	}
+	return t.String() + "\nStored activations plus retained output gradients, per GPU. Deferred δW\nstretch gradient lifetimes (OOO-Pipe1); modulo allocation hands gradients\nto the next GPU and runs δW sooner, shrinking the retention (§8.4.1).\n"
+}

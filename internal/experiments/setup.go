@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"oooback/internal/datapar"
+	"oooback/internal/models"
+	"oooback/internal/stats"
+)
+
+func init() {
+	register("setup", "Tables 1 & 2: the evaluated models and cluster configurations, as built", Setup)
+}
+
+// Setup prints the reproduction's equivalents of the paper's Table 1
+// (models/datasets) and Table 2 (clusters): layer counts, parameter sizes and
+// compute footprints as synthesized by the cost models, plus the simulated
+// cluster configurations.
+func Setup() string {
+	p := models.V100Profile()
+	mt := stats.NewTable("model", "layers", "blocks", "params (M)", "iter compute (V100, ms)", "stands in for")
+	add := func(m *models.Model, note string) {
+		mt.Add(m.Name, m.NumLayers(), len(m.Blocks()),
+			fmt.Sprintf("%.1f", float64(m.TotalParamBytes())/4e6),
+			fmt.Sprintf("%.1f", float64(m.IterTime().Microseconds())/1000),
+			note)
+	}
+	add(models.DenseNet(p, 121, 12, 32, models.CIFAR100), "DenseNet-121 k=12, CIFAR-100")
+	add(models.DenseNet(p, 169, 32, 32, models.CIFAR100), "DenseNet-169 k=32, CIFAR-100")
+	add(models.MobileNetV3Large(p, 0.25, 32, models.ImageNet), "MobileNet V3 α=0.25, ImageNet")
+	add(models.MobileNetV3Large(p, 1.0, 32, models.ImageNet), "MobileNet V3 α=1, ImageNet")
+	add(models.ResNet(p, 50, 128, models.ImageNet), "ResNet-50, ImageNet")
+	add(models.ResNet(p, 101, 96, models.ImageNet), "ResNet-101, ImageNet")
+	add(models.ResNet(p, 152, 64, models.ImageNet), "ResNet-152, ImageNet")
+	add(models.RNN(p, 16, 1024, 32, 1024), "RNN 16 cells, IWSLT")
+	add(models.FFNN(p, 16, 4096, 1024), "FFNN-16 (§8.4.1)")
+	add(models.BERT(p, 12, 128, 512), "BERT-12 pre-training, MNLI/OpenWebText")
+	add(models.BERT(p, 24, 128, 96), "BERT-24 fine-tuning")
+	add(models.BERT(p, 48, 128, 1024), "BERT-48 pre-training")
+	add(models.GPT3Medium(p, 512, 96), "GPT-3 Medium, OpenWebText")
+
+	ct := stats.NewTable("cluster", "GPU", "GPUs/node", "max GPUs", "inter-node", "intra-node")
+	for _, cl := range []datapar.Cluster{datapar.PrivA(), datapar.PrivB(), datapar.PubA()} {
+		ct.Add(cl.Name, cl.Profile.Name, cl.PerNode, cl.MaxGPUs, cl.NIC.Name, cl.Intra.Name)
+	}
+	return "Table 1 equivalents (synthetic cost models; datasets replaced by shape-\ncompatible synthetic data, see DESIGN.md):\n\n" +
+		mt.String() + "\nTable 2 equivalents:\n\n" + ct.String()
+}

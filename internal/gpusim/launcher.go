@@ -1,0 +1,65 @@
+package gpusim
+
+import (
+	"time"
+
+	"oooback/internal/sim"
+)
+
+// Launcher models the CPU-side kernel issue thread of an executor. Issuing a
+// kernel occupies the thread for PerKernel; a kernel becomes visible to the
+// GPU (Stream.Submit) only when its issue completes. This reproduces the
+// kernel-issue bottleneck of §2: if PerKernel exceeds kernel execution time,
+// the GPU starves between kernels.
+//
+// IssueGraph models CUDA Graph launch (§4.2): an entire pre-captured kernel
+// sequence is made visible after a single GraphLaunch occupancy, eliminating
+// the per-kernel issue cost.
+type Launcher struct {
+	// PerKernel is the CPU latency to issue one kernel (executor dependent:
+	// eager TF ≫ XLA ≫ 0 for pre-compiled).
+	PerKernel time.Duration
+	// GraphLaunch is the one-time latency to launch a pre-compiled graph.
+	GraphLaunch time.Duration
+
+	srv *sim.Server
+	// IssueSink, if non-nil, observes each issue occupancy for tracing.
+	IssueSink func(kernel string, start, end sim.Time)
+}
+
+// NewLauncher returns a launcher whose issue thread runs on eng.
+func NewLauncher(eng *sim.Engine, perKernel, graphLaunch time.Duration) *Launcher {
+	return &Launcher{PerKernel: perKernel, GraphLaunch: graphLaunch, srv: sim.NewServer(eng)}
+}
+
+// IssueKernel occupies the issue thread for PerKernel, then submits k to s.
+func (l *Launcher) IssueKernel(s *Stream, k *Kernel) {
+	name := k.Name
+	l.srv.Submit(0, l.PerKernel, func(start, end sim.Time) {
+		if l.IssueSink != nil {
+			l.IssueSink(name, start, end)
+		}
+		s.Submit(k)
+	})
+}
+
+// GraphItem pairs a kernel with its destination stream inside a captured
+// graph.
+type GraphItem struct {
+	Stream *Stream
+	Kernel *Kernel
+}
+
+// IssueGraph occupies the issue thread once for GraphLaunch, then submits all
+// items in order. Dependencies inside the graph are carried by the kernels'
+// Waits/Record events, exactly as in a captured CUDA graph.
+func (l *Launcher) IssueGraph(name string, items []GraphItem) {
+	l.srv.Submit(0, l.GraphLaunch, func(start, end sim.Time) {
+		if l.IssueSink != nil {
+			l.IssueSink(name, start, end)
+		}
+		for _, it := range items {
+			it.Stream.Submit(it.Kernel)
+		}
+	})
+}

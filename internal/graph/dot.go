@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the §2 dependency graph of an L-layer training iteration in
+// Graphviz format — the machine-readable form of the paper's Figure 3. Nodes
+// are the ops (F_i, δO_i, δW_i, U_i, and S[δW_i] when withSync is set);
+// edges are the §2 constraints:
+//
+//	δO_{i+1} → δO_i      (the critical gradient chain)
+//	δO_{i+1} → δW_i      (the decoupled weight gradient — a dependency
+//	                      dead end, which is what ooo backprop exploits)
+//	δW_i → [S[δW_i] →] U_i → F_i   and   F_{i-1} → F_i
+func DOT(L int, withSync bool) string {
+	var b strings.Builder
+	b.WriteString("digraph training {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	node := func(name, label, color string) {
+		fmt.Fprintf(&b, "  %q [label=%q, style=filled, fillcolor=%q];\n", name, label, color)
+	}
+	edge := func(from, to string) {
+		fmt.Fprintf(&b, "  %q -> %q;\n", from, to)
+	}
+	do := func(i int) string { return fmt.Sprintf("dO%d", i) }
+	dw := func(i int) string { return fmt.Sprintf("dW%d", i) }
+	up := func(i int) string { return fmt.Sprintf("U%d", i) }
+	fw := func(i int) string { return fmt.Sprintf("F%d", i) }
+	sy := func(i int) string { return fmt.Sprintf("S[dW%d]", i) }
+
+	node("loss", "dO(loss)", "#eeeeee")
+	for i := L; i >= 1; i-- {
+		node(do(i), do(i), "#9dc3f5")
+		node(dw(i), dw(i), "#3b5e91")
+		node(up(i), up(i), "#8fd18f")
+		node(fw(i), fw(i), "#f5dd9d")
+		if withSync {
+			node(sy(i), sy(i), "#f0b35f")
+		}
+	}
+	for i := L; i >= 1; i-- {
+		producer := "loss"
+		if i < L {
+			producer = do(i + 1)
+		}
+		edge(producer, do(i))
+		edge(producer, dw(i))
+		if withSync {
+			edge(dw(i), sy(i))
+			edge(sy(i), up(i))
+		} else {
+			edge(dw(i), up(i))
+		}
+		edge(up(i), fw(i))
+		if i > 1 {
+			edge(fw(i-1), fw(i))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

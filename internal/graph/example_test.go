@@ -1,0 +1,47 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"oooback/internal/graph"
+	"oooback/internal/models"
+)
+
+// ExampleConventional shows the strict reverse-layout order every framework
+// uses (Fig 3a).
+func ExampleConventional() {
+	fmt.Println(graph.Conventional(3))
+	// Output:
+	// [dO3 dW3 dO2 dW2 dO1 dW1]
+}
+
+// ExampleBackwardSchedule_Validate rejects orders that violate the gradient
+// dependency δW_i → δO_{i+1}.
+func ExampleBackwardSchedule_Validate() {
+	bad := graph.BackwardSchedule{
+		{Kind: graph.WeightGrad, Layer: 1}, // needs dO2 first
+		{Kind: graph.OutGrad, Layer: 2},
+		{Kind: graph.WeightGrad, Layer: 2},
+		{Kind: graph.OutGrad, Layer: 1},
+	}
+	fmt.Println(bad.Validate(2))
+	// Output:
+	// graph: op dW1 at 0 runs before dO2
+}
+
+// ExamplePeakMemory compares the backward-pass peak of conventional order
+// against full δW deferral on a small MLP.
+func ExamplePeakMemory() {
+	m := models.FFNN(models.V100Profile(), 6, 1024, 32)
+	conv := graph.PeakMemory(m, graph.Conventional(6))
+	var deferAll graph.BackwardSchedule
+	for i := 6; i >= 1; i-- {
+		deferAll = append(deferAll, graph.Op{Kind: graph.OutGrad, Layer: i})
+	}
+	for i := 6; i >= 1; i-- {
+		deferAll = append(deferAll, graph.Op{Kind: graph.WeightGrad, Layer: i})
+	}
+	fmt.Println(graph.PeakMemory(m, deferAll) > conv)
+	// Output:
+	// true
+}

@@ -1,0 +1,192 @@
+package models
+
+import "fmt"
+
+// Dataset selects the input geometry for CNN builders.
+type Dataset int
+
+const (
+	// CIFAR100 is 32×32×3 input (DenseNet CIFAR variant geometry).
+	CIFAR100 Dataset = iota
+	// ImageNet is 224×224×3 input with the standard stem.
+	ImageNet
+)
+
+func (d Dataset) String() string {
+	switch d {
+	case CIFAR100:
+		return "cifar100"
+	case ImageNet:
+		return "imagenet"
+	default:
+		return fmt.Sprintf("Dataset(%d)", int(d))
+	}
+}
+
+// DenseNet builds DenseNet-121 or DenseNet-169 with growth rate k
+// (the paper uses k ∈ {12, 24, 32}) at the given batch size.
+// depth must be 121 or 169.
+func DenseNet(p GPUProfile, depth, growthRate, batch int, ds Dataset) *Model {
+	var blockSizes []int
+	switch depth {
+	case 121:
+		blockSizes = []int{6, 12, 24, 16}
+	case 169:
+		blockSizes = []int{6, 12, 32, 32}
+	default:
+		panic(fmt.Sprintf("models: unsupported DenseNet depth %d", depth))
+	}
+	k := growthRate
+	m := &Model{Name: fmt.Sprintf("densenet%d-k%d-b%d-%s", depth, k, batch, ds), Batch: batch, Profile: p}
+
+	var hw, channels int
+	switch ds {
+	case CIFAR100:
+		hw, channels = 32, 2*k
+		m.Layers = append(m.Layers, buildConvLayer(p, convSpec{
+			name: "stem", block: "Stem", cin: 3, cout: channels, hw: hw, k: 3, batch: batch, extraKernels: 2}))
+	case ImageNet:
+		hw, channels = 56, 2*k
+		m.Layers = append(m.Layers, buildConvLayer(p, convSpec{
+			name: "stem", block: "Stem", cin: 3, cout: channels, hw: 112, k: 7, batch: batch, extraKernels: 3}))
+	}
+
+	for bi, n := range blockSizes {
+		block := fmt.Sprintf("DenseBlock-%d", bi+1)
+		for li := 0; li < n; li++ {
+			// Bottleneck 1×1 conv to 4k channels, then 3×3 conv to k channels.
+			m.Layers = append(m.Layers, buildConvLayer(p, convSpec{
+				name: fmt.Sprintf("db%d_l%d_1x1", bi+1, li), block: block,
+				cin: channels, cout: 4 * k, hw: hw, k: 1, batch: batch, extraKernels: 4}))
+			m.Layers = append(m.Layers, buildConvLayer(p, convSpec{
+				name: fmt.Sprintf("db%d_l%d_3x3", bi+1, li), block: block,
+				cin: 4 * k, cout: k, hw: hw, k: 3, batch: batch, extraKernels: 5}))
+			channels += k
+		}
+		if bi < len(blockSizes)-1 {
+			// Transition: 1×1 conv halving channels + 2×2 average pool.
+			channels /= 2
+			m.Layers = append(m.Layers, buildConvLayer(p, convSpec{
+				name: fmt.Sprintf("trans%d", bi+1), block: block,
+				cin: channels * 2, cout: channels, hw: hw, k: 1, batch: batch, extraKernels: 3}))
+			hw /= 2
+		}
+	}
+	m.Layers = append(m.Layers, buildDenseLayer(p, denseSpec{
+		name: "classifier", block: "Head", in: channels, out: 1000, batch: batch, kernels: 2}))
+	mustValidate(m)
+	return m
+}
+
+// ResNet builds ResNet-50/101/152 (bottleneck variant) at the given batch.
+func ResNet(p GPUProfile, depth, batch int, ds Dataset) *Model {
+	var blockSizes []int
+	switch depth {
+	case 50:
+		blockSizes = []int{3, 4, 6, 3}
+	case 101:
+		blockSizes = []int{3, 4, 23, 3}
+	case 152:
+		blockSizes = []int{3, 8, 36, 3}
+	default:
+		panic(fmt.Sprintf("models: unsupported ResNet depth %d", depth))
+	}
+	m := &Model{Name: fmt.Sprintf("resnet%d-b%d-%s", depth, batch, ds), Batch: batch, Profile: p}
+	var hw int
+	switch ds {
+	case CIFAR100:
+		hw = 32
+		m.Layers = append(m.Layers, buildConvLayer(p, convSpec{
+			name: "stem", block: "Stem", cin: 3, cout: 64, hw: hw, k: 3, batch: batch, extraKernels: 2}))
+	case ImageNet:
+		hw = 56
+		m.Layers = append(m.Layers, buildConvLayer(p, convSpec{
+			name: "stem", block: "Stem", cin: 3, cout: 64, hw: 112, k: 7, batch: batch, extraKernels: 3}))
+	}
+	inner := []int{64, 128, 256, 512}
+	channels := 64
+	for si, n := range blockSizes {
+		block := fmt.Sprintf("Stage-%d", si+1)
+		cout := inner[si] * 4
+		for bi := 0; bi < n; bi++ {
+			m.Layers = append(m.Layers, buildConvLayer(p, convSpec{
+				name: fmt.Sprintf("s%d_b%d_1x1a", si+1, bi), block: block,
+				cin: channels, cout: inner[si], hw: hw, k: 1, batch: batch, extraKernels: 2}))
+			m.Layers = append(m.Layers, buildConvLayer(p, convSpec{
+				name: fmt.Sprintf("s%d_b%d_3x3", si+1, bi), block: block,
+				cin: inner[si], cout: inner[si], hw: hw, k: 3, batch: batch, extraKernels: 2}))
+			m.Layers = append(m.Layers, buildConvLayer(p, convSpec{
+				name: fmt.Sprintf("s%d_b%d_1x1b", si+1, bi), block: block,
+				cin: inner[si], cout: cout, hw: hw, k: 1, batch: batch, extraKernels: 3}))
+			channels = cout
+		}
+		if si < len(blockSizes)-1 {
+			hw /= 2
+		}
+	}
+	m.Layers = append(m.Layers, buildDenseLayer(p, denseSpec{
+		name: "classifier", block: "Head", in: channels, out: 1000, batch: batch, kernels: 2}))
+	mustValidate(m)
+	return m
+}
+
+// MobileNetV3Large builds MobileNet V3 Large with width multiplier alpha
+// (the paper uses α ∈ {0.25, 0.5, 0.75, 1}).
+func MobileNetV3Large(p GPUProfile, alpha float64, batch int, ds Dataset) *Model {
+	m := &Model{Name: fmt.Sprintf("mobilenetv3l-a%g-b%d-%s", alpha, batch, ds), Batch: batch, Profile: p}
+	scale := func(c int) int {
+		s := int(float64(c) * alpha)
+		if s < 8 {
+			s = 8
+		}
+		return s
+	}
+	var hw int
+	switch ds {
+	case CIFAR100:
+		hw = 32
+	case ImageNet:
+		hw = 112
+	}
+	m.Layers = append(m.Layers, buildConvLayer(p, convSpec{
+		name: "stem", block: "Stem", cin: 3, cout: scale(16), hw: hw, k: 3, batch: batch, extraKernels: 2}))
+	// (expansion, out channels, stride) per V3-Large bneck row.
+	type bneck struct{ exp, out, stride int }
+	rows := []bneck{
+		{16, 16, 1}, {64, 24, 2}, {72, 24, 1}, {72, 40, 2}, {120, 40, 1},
+		{120, 40, 1}, {240, 80, 2}, {200, 80, 1}, {184, 80, 1}, {184, 80, 1},
+		{480, 112, 1}, {672, 112, 1}, {672, 160, 2}, {960, 160, 1}, {960, 160, 1},
+	}
+	cin := scale(16)
+	for i, r := range rows {
+		if r.stride == 2 && hw > 4 {
+			hw /= 2
+		}
+		block := fmt.Sprintf("Bneck-%d", i/5+1)
+		exp, out := scale(r.exp), scale(r.out)
+		// Expand 1×1, depthwise 3×3, project 1×1 — each its own layer, since
+		// depthwise kernels are the tiny ones that starve the GPU.
+		m.Layers = append(m.Layers, buildConvLayer(p, convSpec{
+			name: fmt.Sprintf("bneck%d_expand", i), block: block,
+			cin: cin, cout: exp, hw: hw, k: 1, batch: batch, extraKernels: 3}))
+		m.Layers = append(m.Layers, buildConvLayer(p, convSpec{
+			name: fmt.Sprintf("bneck%d_dw", i), block: block,
+			cin: exp, cout: exp, hw: hw, k: 3, batch: batch, groups: exp, extraKernels: 4}))
+		m.Layers = append(m.Layers, buildConvLayer(p, convSpec{
+			name: fmt.Sprintf("bneck%d_project", i), block: block,
+			cin: exp, cout: out, hw: hw, k: 1, batch: batch, extraKernels: 3}))
+		cin = out
+	}
+	m.Layers = append(m.Layers, buildConvLayer(p, convSpec{
+		name: "conv_last", block: "Head", cin: cin, cout: scale(960), hw: hw, k: 1, batch: batch, extraKernels: 2}))
+	m.Layers = append(m.Layers, buildDenseLayer(p, denseSpec{
+		name: "classifier", block: "Head", in: scale(960), out: 1000, batch: batch, kernels: 2}))
+	mustValidate(m)
+	return m
+}
+
+func mustValidate(m *Model) {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+}

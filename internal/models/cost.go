@@ -1,0 +1,177 @@
+package models
+
+import (
+	"math"
+	"time"
+)
+
+// GPUProfile converts layer FLOPs into execution times. The profiles mirror
+// the gpusim configurations so that thread-block counts mean the same thing
+// in both packages.
+type GPUProfile struct {
+	Name string
+	// PeakFLOPS is the device peak in FLOP/s at full occupancy.
+	PeakFLOPS float64
+	// SMCapacity is the device-wide resident thread-block limit.
+	SMCapacity int
+	// MinKernel is the floor on a single kernel's execution time.
+	MinKernel time.Duration
+}
+
+// V100Profile matches gpusim.V100 (15.7 TFLOPS fp32 peak).
+func V100Profile() GPUProfile {
+	return GPUProfile{Name: "V100", PeakFLOPS: 15.7e12, SMCapacity: 1520, MinKernel: 3 * time.Microsecond}
+}
+
+// TitanXPProfile matches gpusim.TitanXP (12.1 TFLOPS fp32 peak).
+func TitanXPProfile() GPUProfile {
+	return GPUProfile{Name: "TitanXP", PeakFLOPS: 12.1e12, SMCapacity: 900, MinKernel: 4 * time.Microsecond}
+}
+
+// P100Profile matches gpusim.P100 (9.5 TFLOPS fp32 peak).
+func P100Profile() GPUProfile {
+	return GPUProfile{Name: "P100", PeakFLOPS: 9.5e12, SMCapacity: 1120, MinKernel: 4 * time.Microsecond}
+}
+
+// Efficiency returns the fraction of peak a kernel achieves given its
+// thread-block count. Kernels that underfill the SMs run proportionally
+// slower, with a floor so tiny kernels are not infinitely slow; kernels
+// beyond capacity saturate at a typical 55% of peak (memory-bound reality of
+// convolution/GEMM kernels).
+func (p GPUProfile) Efficiency(blocks int) float64 {
+	occ := float64(blocks) / float64(p.SMCapacity)
+	if occ > 1 {
+		occ = 1
+	}
+	eff := 0.55 * math.Sqrt(occ)
+	if eff < 0.02 {
+		eff = 0.02
+	}
+	return eff
+}
+
+// KernelTime converts FLOPs at a given thread-block count into a duration.
+func (p GPUProfile) KernelTime(flops float64, blocks int) time.Duration {
+	if flops <= 0 {
+		return p.MinKernel
+	}
+	t := time.Duration(flops / (p.PeakFLOPS * p.Efficiency(blocks)) * float64(time.Second))
+	if t < p.MinKernel {
+		t = p.MinKernel
+	}
+	return t
+}
+
+// convSpec describes one convolution for cost synthesis.
+type convSpec struct {
+	name   string
+	block  string
+	cin    int
+	cout   int
+	hw     int // output spatial dimension (square)
+	k      int // kernel size (k × k); 0 means depthwise k=3
+	batch  int
+	groups int // 1 for dense conv, cin for depthwise
+	// extraKernels counts the BN/ReLU/concat companions launched with this
+	// conv in the forward pass.
+	extraKernels int
+}
+
+// buildConvLayer synthesizes the Layer for a convolution (+BN+ReLU fusion
+// companions) at the given profile.
+func buildConvLayer(p GPUProfile, c convSpec) Layer {
+	if c.groups <= 0 {
+		c.groups = 1
+	}
+	outEl := float64(c.batch) * float64(c.hw*c.hw) * float64(c.cout)
+	flops := 2 * outEl * float64(c.k*c.k) * float64(c.cin) / float64(c.groups)
+	// Thread blocks: tile the output GEMM. 256 outputs per block is a typical
+	// cuDNN tiling; depthwise kernels tile spatially.
+	blocks := int(math.Ceil(outEl / 256))
+	if blocks < 1 {
+		blocks = 1
+	}
+	// δO and δW convolutions have the same FLOP count as the forward pass;
+	// δW kernels tile over the filter dimensions with split-K over the
+	// reduction, landing at roughly a third of the forward occupancy (≈ the
+	// paper's 448-block δW kernels against a 1520-slot device in
+	// DenseBlock-4, where forward kernels fill the SMs).
+	dwBlocks := blocks / 3
+	if dwBlocks < 1 {
+		dwBlocks = 1
+	}
+	fwdK := 1 + c.extraKernels
+	elemBytes := int64(4)
+	act := int64(float64(c.batch*c.hw*c.hw*c.cin)) * elemBytes
+	out := int64(outEl) * elemBytes
+	params := int64(c.k*c.k*c.cin*c.cout/c.groups) * elemBytes
+	fwd := p.KernelTime(flops, blocks)
+	// BN/ReLU companions: memory-bound, near the kernel floor each.
+	companion := time.Duration(c.extraKernels) * p.MinKernel
+	return Layer{
+		Name:       c.name,
+		Block:      c.block,
+		Fwd:        fwd + companion,
+		DO:         p.KernelTime(flops, blocks) + companion,
+		DW:         p.KernelTime(flops, dwBlocks),
+		FwdKernels: fwdK,
+		DOKernels:  fwdK,
+		DWKernels:  1,
+		FwdBlocks:  blocks,
+		DOBlocks:   blocks,
+		DWBlocks:   dwBlocks,
+		ParamBytes: params,
+		ActBytes:   act,
+		OutBytes:   out,
+		WorkBytes:  act, // im2col workspace ≈ input matrix
+	}
+}
+
+// denseSpec describes one fully connected / GEMM layer.
+type denseSpec struct {
+	name    string
+	block   string
+	in, out int
+	batch   int // rows of the GEMM (batch × seq for NLP)
+	kernels int // fused companions (bias, activation, layernorm, ...)
+}
+
+func buildDenseLayer(p GPUProfile, d denseSpec) Layer {
+	flops := 2 * float64(d.batch) * float64(d.in) * float64(d.out)
+	blocks := int(math.Ceil(float64(d.batch) * float64(d.out) / 4096))
+	if blocks < 1 {
+		blocks = 1
+	}
+	dwBlocks := blocks / 3
+	if dw := int(math.Ceil(float64(d.in) * float64(d.out) / 8192)); dw > dwBlocks {
+		dwBlocks = dw // weight-matrix tiling floor for wide layers
+	}
+	if dwBlocks < 1 {
+		dwBlocks = 1
+	}
+	if d.kernels < 1 {
+		d.kernels = 1
+	}
+	elemBytes := int64(4)
+	act := int64(d.batch) * int64(d.in) * elemBytes
+	out := int64(d.batch) * int64(d.out) * elemBytes
+	params := int64(d.in) * int64(d.out) * elemBytes
+	companion := time.Duration(d.kernels-1) * p.MinKernel
+	return Layer{
+		Name:       d.name,
+		Block:      d.block,
+		Fwd:        p.KernelTime(flops, blocks) + companion,
+		DO:         p.KernelTime(flops, blocks) + companion,
+		DW:         p.KernelTime(flops, dwBlocks),
+		FwdKernels: d.kernels,
+		DOKernels:  d.kernels,
+		DWKernels:  1,
+		FwdBlocks:  blocks,
+		DOBlocks:   blocks,
+		DWBlocks:   dwBlocks,
+		ParamBytes: params,
+		ActBytes:   act,
+		OutBytes:   out,
+		WorkBytes:  0,
+	}
+}

@@ -1,0 +1,28 @@
+package models
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the model (all layer cost fields) so external
+// profiles can replace the synthetic cost models: profile a real network,
+// emit this JSON, and feed it to the schedulers and engines via ReadJSON.
+func (m *Model) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadJSON deserializes and validates a model written by WriteJSON.
+func ReadJSON(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("models: decode: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

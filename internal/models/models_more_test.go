@@ -1,0 +1,161 @@
+package models
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfilesMatchDevices(t *testing.T) {
+	for _, p := range []GPUProfile{V100Profile(), TitanXPProfile(), P100Profile()} {
+		if p.PeakFLOPS <= 0 || p.SMCapacity <= 0 || p.MinKernel <= 0 {
+			t.Fatalf("degenerate profile %+v", p)
+		}
+	}
+	if !(V100Profile().PeakFLOPS > TitanXPProfile().PeakFLOPS &&
+		TitanXPProfile().PeakFLOPS > P100Profile().PeakFLOPS) {
+		t.Fatal("peak ordering wrong")
+	}
+}
+
+func TestDatasetString(t *testing.T) {
+	if CIFAR100.String() != "cifar100" || ImageNet.String() != "imagenet" {
+		t.Fatal("dataset names wrong")
+	}
+	if !strings.Contains(Dataset(99).String(), "99") {
+		t.Fatal("unknown dataset string")
+	}
+}
+
+func TestDenseNetRejectsUnknownDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	DenseNet(V100Profile(), 200, 12, 32, CIFAR100)
+}
+
+func TestResNetRejectsUnknownDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ResNet(V100Profile(), 42, 32, CIFAR100)
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := FFNN(V100Profile(), 4, 128, 32)
+	m.Layers[2].Fwd = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero forward time validated")
+	}
+	m = FFNN(V100Profile(), 4, 128, 32)
+	m.Layers[1].ParamBytes = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative bytes validated")
+	}
+	m = FFNN(V100Profile(), 4, 128, 32)
+	m.Layers[0].DWKernels = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero kernel count validated")
+	}
+	empty := &Model{Name: "empty"}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty model validated")
+	}
+}
+
+func TestVocabParallelHead(t *testing.T) {
+	m := BERT(V100Profile(), 12, 128, 96)
+	vp := VocabParallelHead(m, 4)
+	var orig, shard Layer
+	for _, l := range m.Layers {
+		if l.Name == "lm_head" {
+			orig = l
+		}
+	}
+	for _, l := range vp.Layers {
+		if l.Name == "lm_head" {
+			shard = l
+		}
+	}
+	if shard.ParamBytes != orig.ParamBytes/4 {
+		t.Fatalf("head params %d, want quarter of %d", shard.ParamBytes, orig.ParamBytes)
+	}
+	if shard.Fwd != orig.Fwd/4 {
+		t.Fatalf("head fwd %v, want quarter of %v", shard.Fwd, orig.Fwd)
+	}
+	// Other layers untouched; the source model unmodified.
+	if vp.Layers[1].Fwd != m.Layers[1].Fwd {
+		t.Fatal("non-head layer modified")
+	}
+	for _, l := range m.Layers {
+		if l.Name == "lm_head" && l.ParamBytes != orig.ParamBytes {
+			t.Fatal("source model mutated")
+		}
+	}
+	// n ≤ 1 returns the model unchanged.
+	if VocabParallelHead(m, 1) != m {
+		t.Fatal("n=1 should be identity")
+	}
+}
+
+func TestTotalsAndBlocks(t *testing.T) {
+	m := FFNN(V100Profile(), 3, 64, 16)
+	if m.IterTime() != m.TotalFwd()+m.TotalBackward() {
+		t.Fatal("IterTime inconsistent")
+	}
+	var sum time.Duration
+	for _, l := range m.Layers {
+		sum += l.BackwardTime()
+	}
+	if sum != m.TotalBackward() {
+		t.Fatal("TotalBackward inconsistent")
+	}
+	if len(m.Blocks()) != 3 {
+		t.Fatalf("blocks = %v", m.Blocks())
+	}
+}
+
+func TestGPTSeqLenScalesCost(t *testing.T) {
+	a := GPT3Medium(V100Profile(), 128, 32)
+	b := GPT3Medium(V100Profile(), 512, 32)
+	if b.IterTime() <= a.IterTime() {
+		t.Fatal("longer sequences should cost more")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := ResNet(V100Profile(), 50, 64, ImageNet)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || got.NumLayers() != m.NumLayers() {
+		t.Fatalf("roundtrip mismatch: %s/%d vs %s/%d", got.Name, got.NumLayers(), m.Name, m.NumLayers())
+	}
+	for i := range m.Layers {
+		if got.Layers[i] != m.Layers[i] {
+			t.Fatalf("layer %d changed: %+v vs %+v", i, got.Layers[i], m.Layers[i])
+		}
+	}
+	if got.IterTime() != m.IterTime() {
+		t.Fatal("cost totals changed across roundtrip")
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"Name":"x","Layers":[]}`)); err == nil {
+		t.Fatal("empty model accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,244 @@
+package models
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDenseNet121Structure(t *testing.T) {
+	m := DenseNet(V100Profile(), 121, 32, 32, CIFAR100)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Stem + 2×(6+12+24+16) dense layers + 3 transitions + classifier.
+	want := 1 + 2*58 + 3 + 1
+	if m.NumLayers() != want {
+		t.Fatalf("layers = %d, want %d", m.NumLayers(), want)
+	}
+	blocks := m.Blocks()
+	joined := strings.Join(blocks, ",")
+	for _, b := range []string{"DenseBlock-1", "DenseBlock-2", "DenseBlock-3", "DenseBlock-4"} {
+		if !strings.Contains(joined, b) {
+			t.Fatalf("missing block %s in %v", b, blocks)
+		}
+	}
+}
+
+func TestDenseNet169Deeper(t *testing.T) {
+	m121 := DenseNet(V100Profile(), 121, 32, 32, CIFAR100)
+	m169 := DenseNet(V100Profile(), 169, 32, 32, CIFAR100)
+	if m169.NumLayers() <= m121.NumLayers() {
+		t.Fatalf("densenet169 (%d layers) not deeper than 121 (%d)", m169.NumLayers(), m121.NumLayers())
+	}
+	if m169.IterTime() <= m121.IterTime() {
+		t.Fatal("densenet169 not slower than 121")
+	}
+}
+
+func TestDenseNetGrowthRateScalesCost(t *testing.T) {
+	k12 := DenseNet(V100Profile(), 121, 12, 32, CIFAR100)
+	k32 := DenseNet(V100Profile(), 121, 32, 32, CIFAR100)
+	if k32.IterTime() <= k12.IterTime() {
+		t.Fatal("growth rate 32 should cost more than 12")
+	}
+}
+
+func TestDenseNetLateBlocksHaveSmallDWKernels(t *testing.T) {
+	// The §8.2 observation: δW kernels in DenseBlock-4 underfill the SMs.
+	m := DenseNet(V100Profile(), 121, 32, 32, ImageNet)
+	cap := V100Profile().SMCapacity
+	var early, late []Layer
+	for _, l := range m.Layers {
+		switch l.Block {
+		case "DenseBlock-1":
+			early = append(early, l)
+		case "DenseBlock-4":
+			late = append(late, l)
+		}
+	}
+	lowOcc := 0
+	for _, l := range late {
+		if l.DWBlocks < cap {
+			lowOcc++
+		}
+	}
+	if lowOcc < len(late)/2 {
+		t.Fatalf("only %d/%d DenseBlock-4 δW kernels underfill the SMs", lowOcc, len(late))
+	}
+	if len(early) == 0 {
+		t.Fatal("no DenseBlock-1 layers")
+	}
+}
+
+func TestResNetDepths(t *testing.T) {
+	p := V100Profile()
+	r50 := ResNet(p, 50, 64, ImageNet)
+	r101 := ResNet(p, 101, 64, ImageNet)
+	r152 := ResNet(p, 152, 64, ImageNet)
+	if !(r50.NumLayers() < r101.NumLayers() && r101.NumLayers() < r152.NumLayers()) {
+		t.Fatalf("layer counts not increasing: %d %d %d", r50.NumLayers(), r101.NumLayers(), r152.NumLayers())
+	}
+	if !(r50.IterTime() < r101.IterTime() && r101.IterTime() < r152.IterTime()) {
+		t.Fatal("iteration times not increasing with depth")
+	}
+	// ResNet-50 has ~25.5M params; our conv-only accounting should land in
+	// the 15–30M range (no BN params modelled).
+	params := r50.TotalParamBytes() / 4
+	if params < 15e6 || params > 35e6 {
+		t.Fatalf("resnet50 params = %d, want ≈ 25M", params)
+	}
+}
+
+func TestMobileNetAlphaScaling(t *testing.T) {
+	p := V100Profile()
+	a25 := MobileNetV3Large(p, 0.25, 32, ImageNet)
+	a100 := MobileNetV3Large(p, 1.0, 32, ImageNet)
+	if a25.IterTime() >= a100.IterTime() {
+		t.Fatal("α=0.25 should be cheaper than α=1")
+	}
+	// Narrow MobileNets are dominated by tiny kernels: mean per-kernel time
+	// must be close to the kernel floor, which is what makes issue overhead
+	// dominant (§2).
+	var kernels int
+	for _, l := range a25.Layers {
+		kernels += l.FwdKernels + l.DOKernels + l.DWKernels
+	}
+	meanPerKernel := a25.IterTime() / time.Duration(kernels)
+	if meanPerKernel > 40*time.Microsecond {
+		t.Fatalf("mean kernel %v too large for α=0.25 (want small kernels)", meanPerKernel)
+	}
+}
+
+func TestBatchScaling(t *testing.T) {
+	p := V100Profile()
+	b32 := ResNet(p, 50, 32, ImageNet)
+	b128 := ResNet(p, 50, 128, ImageNet)
+	r := float64(b128.IterTime()) / float64(b32.IterTime())
+	if r < 2 || r > 5 {
+		t.Fatalf("batch 128/32 cost ratio = %.2f, want ≈ 4 (sub-linear ok)", r)
+	}
+	if b32.TotalParamBytes() != b128.TotalParamBytes() {
+		t.Fatal("params must not depend on batch")
+	}
+}
+
+func TestFFNNAndRNN(t *testing.T) {
+	p := V100Profile()
+	f := FFNN(p, 16, 4096, 1024)
+	if f.NumLayers() != 16 {
+		t.Fatalf("ffnn layers = %d, want 16", f.NumLayers())
+	}
+	r := RNN(p, 16, 1024, 32, 1024)
+	if r.NumLayers() != 16 {
+		t.Fatalf("rnn cells = %d, want 16", r.NumLayers())
+	}
+	if r.Layers[0].FwdKernels != 32 {
+		t.Fatalf("rnn fwd kernels = %d, want seqLen 32", r.Layers[0].FwdKernels)
+	}
+}
+
+func TestBERTConfigs(t *testing.T) {
+	p := V100Profile()
+	b12 := BERT(p, 12, 128, 96)
+	b24 := BERT(p, 24, 128, 96)
+	b48 := BERT(p, 48, 128, 96)
+	// encoders + embedding + head.
+	if b12.NumLayers() != 14 || b24.NumLayers() != 26 || b48.NumLayers() != 50 {
+		t.Fatalf("layer counts = %d %d %d", b12.NumLayers(), b24.NumLayers(), b48.NumLayers())
+	}
+	if !(b12.IterTime() < b24.IterTime() && b24.IterTime() < b48.IterTime()) {
+		t.Fatal("BERT iteration time should grow with depth")
+	}
+	// BERT-base ≈ 110M params; embedding + 12 encoders ≈ 85M+23M+head.
+	params := b12.TotalParamBytes() / 4
+	if params < 60e6 || params > 200e6 {
+		t.Fatalf("bert12 params = %d, want ≈ 110M", params)
+	}
+}
+
+func TestGPT3MediumEmbeddingIsHeavy(t *testing.T) {
+	m := GPT3Medium(V100Profile(), 512, 96)
+	if m.NumLayers() != 26 {
+		t.Fatalf("layers = %d, want 26", m.NumLayers())
+	}
+	emb := m.Layers[0]
+	if emb.ParamBytes < 100<<20 {
+		t.Fatalf("embedding params = %d bytes, want > 100 MiB (vocab 50k × 1024)", emb.ParamBytes)
+	}
+}
+
+func TestEfficiencyCurve(t *testing.T) {
+	p := V100Profile()
+	lo := p.Efficiency(10)
+	hi := p.Efficiency(p.SMCapacity)
+	over := p.Efficiency(10 * p.SMCapacity)
+	if lo >= hi {
+		t.Fatalf("efficiency must grow with occupancy: %v vs %v", lo, hi)
+	}
+	if hi != over {
+		t.Fatalf("efficiency must saturate at capacity: %v vs %v", hi, over)
+	}
+}
+
+func TestKernelTimeFloor(t *testing.T) {
+	p := V100Profile()
+	if got := p.KernelTime(1, 1); got != p.MinKernel {
+		t.Fatalf("tiny kernel time = %v, want floor %v", got, p.MinKernel)
+	}
+}
+
+// Property: KernelTime is monotone in FLOPs and antitone in blocks (more
+// blocks = more parallelism = faster), for all model-scale inputs.
+func TestKernelTimeMonotoneProperty(t *testing.T) {
+	p := V100Profile()
+	f := func(f1, f2 uint32, b uint16) bool {
+		lo, hi := float64(f1)*1e6, float64(f2)*1e6
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		blocks := int(b%4000) + 1
+		return p.KernelTime(lo, blocks) <= p.KernelTime(hi, blocks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	g := func(fl uint32, b1, b2 uint16) bool {
+		flops := float64(fl)*1e6 + 1e9
+		x, y := int(b1%4000)+1, int(b2%4000)+1
+		if x > y {
+			x, y = y, x
+		}
+		return p.KernelTime(flops, x) >= p.KernelTime(flops, y)
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every builder output validates and has positive iteration time.
+func TestBuildersValidateProperty(t *testing.T) {
+	p := V100Profile()
+	f := func(batchSel, kSel uint8) bool {
+		batch := []int{16, 32, 64, 96}[batchSel%4]
+		k := []int{12, 24, 32}[kSel%3]
+		for _, m := range []*Model{
+			DenseNet(p, 121, k, batch, CIFAR100),
+			ResNet(p, 50, batch, ImageNet),
+			MobileNetV3Large(p, 0.5, batch, ImageNet),
+			BERT(p, 12, 128, batch),
+		} {
+			if err := m.Validate(); err != nil {
+				return false
+			}
+			if m.IterTime() <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

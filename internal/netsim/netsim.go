@@ -1,0 +1,146 @@
+// Package netsim models the interconnects used in multi-GPU training:
+// point-to-point links with bandwidth and latency, priority-scheduled
+// transfers (the ByteScheduler/BytePS mechanism of partitioning tensors into
+// chunks so urgent traffic overtakes bulk traffic), and cost models for
+// parameter-server and ring all-reduce collectives.
+//
+// A Link serializes chunked transfers in priority order. Because tensors are
+// split into chunks, a high-priority transfer submitted while a low-priority
+// one is in flight begins after at most one chunk of service time — the
+// behaviour BytePS achieves with its credit-based chunk scheduler.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"oooback/internal/sim"
+)
+
+// LinkSpec describes one direction of an interconnect.
+type LinkSpec struct {
+	Name string
+	// Bandwidth in bytes per second.
+	Bandwidth float64
+	// Latency is the fixed per-transfer propagation/protocol latency.
+	Latency time.Duration
+	// ChunkBytes is the scheduling granularity (default 512 KiB).
+	ChunkBytes int64
+}
+
+// Common interconnects, bandwidths as in Table 2 and §8.4.1 of the paper.
+// Effective bandwidths are set to ~80% of nominal to account for protocol
+// overhead, matching the communication/computation ratios reported in §8.4.1.
+func NVLink() LinkSpec {
+	return LinkSpec{Name: "NVLink", Bandwidth: 50e9 * 0.8, Latency: 5 * time.Microsecond}
+}
+func PCIe3x16() LinkSpec {
+	return LinkSpec{Name: "PCIe3x16", Bandwidth: 16e9 * 0.8, Latency: 8 * time.Microsecond}
+}
+func Ethernet10G() LinkSpec {
+	return LinkSpec{Name: "10GbE", Bandwidth: 1.25e9 * 0.8, Latency: 50 * time.Microsecond}
+}
+func Ethernet20G() LinkSpec {
+	return LinkSpec{Name: "20GbE", Bandwidth: 2.5e9 * 0.8, Latency: 50 * time.Microsecond}
+}
+func Ethernet25G() LinkSpec {
+	return LinkSpec{Name: "25GbE", Bandwidth: 3.125e9 * 0.8, Latency: 40 * time.Microsecond}
+}
+
+// TransferTime returns the time to move n bytes over an uncontended link.
+func (s LinkSpec) TransferTime(n int64) time.Duration {
+	if s.Bandwidth <= 0 {
+		panic("netsim: non-positive bandwidth")
+	}
+	return s.Latency + time.Duration(math.Ceil(float64(n)/s.Bandwidth*float64(time.Second)))
+}
+
+// Link is one direction of an interconnect with chunked priority scheduling.
+type Link struct {
+	Spec LinkSpec
+
+	eng *sim.Engine
+	srv *sim.Server
+	// BusySink, if non-nil, observes each chunk service for tracing.
+	BusySink func(label string, start, end sim.Time)
+}
+
+// NewLink creates a link on the engine.
+func NewLink(eng *sim.Engine, spec LinkSpec) *Link {
+	if spec.ChunkBytes <= 0 {
+		spec.ChunkBytes = 512 << 10
+	}
+	if spec.Bandwidth <= 0 {
+		panic(fmt.Sprintf("netsim: link %q has non-positive bandwidth", spec.Name))
+	}
+	return &Link{Spec: spec, eng: eng, srv: sim.NewServer(eng)}
+}
+
+// Transfer moves size bytes at the given priority (lower = more urgent) and
+// calls done when the last chunk has been delivered. The latency is charged
+// once per transfer; bandwidth is charged per chunk so concurrent transfers
+// interleave at chunk granularity in priority order.
+func (l *Link) Transfer(label string, size int64, prio int, done func()) {
+	if size < 0 {
+		panic("netsim: negative transfer size")
+	}
+	chunks := int((size + l.Spec.ChunkBytes - 1) / l.Spec.ChunkBytes)
+	if chunks == 0 {
+		chunks = 1
+	}
+	perChunk := time.Duration(float64(size) / float64(chunks) / l.Spec.Bandwidth * float64(time.Second))
+	gate := sim.NewGate(chunks, func() {
+		// Propagation latency applies once, after the last chunk is on the wire.
+		l.eng.After(l.Spec.Latency, func() {
+			if done != nil {
+				done()
+			}
+		})
+	})
+	for i := 0; i < chunks; i++ {
+		l.srv.Submit(prio, perChunk, func(start, end sim.Time) {
+			if l.BusySink != nil {
+				l.BusySink(label, start, end)
+			}
+			gate.Done()
+		})
+	}
+}
+
+// Collective cost models (analytic, used by the data-parallel engine).
+
+// PSSyncTime models a BytePS-style parameter-server synchronization of n
+// bytes across `workers` GPUs: a push and a pull through the worker's
+// bottleneck link, with an incast-contention factor that grows slowly with
+// the worker count. localFanIn is the number of GPUs sharing one NIC (they
+// first reduce locally over fast intra-node links, so the NIC carries the
+// tensor once per node).
+func PSSyncTime(spec LinkSpec, n int64, workers, localFanIn int) time.Duration {
+	if workers <= 1 {
+		return 0
+	}
+	if localFanIn < 1 {
+		localFanIn = 1
+	}
+	nodes := (workers + localFanIn - 1) / localFanIn
+	// Push + pull over the NIC; contention grows with node count because
+	// BytePS servers are co-located with workers and share the same NICs.
+	contention := 1.0 + 0.12*math.Log2(float64(nodes))
+	bytesOnWire := 2 * float64(n)
+	t := bytesOnWire / spec.Bandwidth * contention
+	return 2*spec.Latency + time.Duration(t*float64(time.Second))
+}
+
+// RingAllReduceTime models a Horovod-style ring all-reduce of n bytes across
+// `workers` GPUs over the given link: 2(N-1)/N of the data crosses each link,
+// with N-1 latency hops in each of the two phases.
+func RingAllReduceTime(spec LinkSpec, n int64, workers int) time.Duration {
+	if workers <= 1 {
+		return 0
+	}
+	w := float64(workers)
+	t := 2 * (w - 1) / w * float64(n) / spec.Bandwidth
+	hops := time.Duration(2*(workers-1)) * spec.Latency
+	return hops + time.Duration(t*float64(time.Second))
+}

@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"oooback/internal/sim"
+)
+
+func TestStandardLinkSpecs(t *testing.T) {
+	for _, spec := range []LinkSpec{NVLink(), PCIe3x16(), Ethernet10G(), Ethernet20G(), Ethernet25G()} {
+		if spec.Bandwidth <= 0 || spec.Latency <= 0 || spec.Name == "" {
+			t.Fatalf("degenerate spec %+v", spec)
+		}
+	}
+	// Relative ordering: NVLink > PCIe > 25G > 20G > 10G.
+	if !(NVLink().Bandwidth > PCIe3x16().Bandwidth &&
+		PCIe3x16().Bandwidth > Ethernet25G().Bandwidth &&
+		Ethernet25G().Bandwidth > Ethernet20G().Bandwidth &&
+		Ethernet20G().Bandwidth > Ethernet10G().Bandwidth) {
+		t.Fatal("bandwidth ordering wrong")
+	}
+}
+
+func TestTransferTimePanicsOnZeroBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	LinkSpec{Name: "bad"}.TransferTime(1)
+}
+
+func TestNewLinkPanicsOnZeroBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewLink(sim.New(), LinkSpec{Name: "bad"})
+}
+
+func TestTransferNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	l := NewLink(sim.New(), testSpec())
+	l.Transfer("neg", -1, 0, nil)
+}
+
+func TestBusySinkObservesChunks(t *testing.T) {
+	eng := sim.New()
+	l := NewLink(eng, testSpec())
+	var chunks int
+	l.BusySink = func(label string, start, end sim.Time) {
+		if label != "big" {
+			t.Errorf("label = %q", label)
+		}
+		chunks++
+	}
+	l.Transfer("big", 3<<20, 0, nil) // 3 chunks at 1 MiB granularity
+	eng.Run()
+	if chunks != 3 {
+		t.Fatalf("chunks = %d, want 3", chunks)
+	}
+}
+
+func TestDefaultChunkSize(t *testing.T) {
+	l := NewLink(sim.New(), LinkSpec{Name: "d", Bandwidth: 1e9, Latency: time.Millisecond})
+	if l.Spec.ChunkBytes != 512<<10 {
+		t.Fatalf("default chunk = %d, want 512 KiB", l.Spec.ChunkBytes)
+	}
+}
+
+func TestPSSyncLocalFanInFloor(t *testing.T) {
+	// Fan-in below 1 is clamped.
+	a := PSSyncTime(Ethernet10G(), 1<<20, 8, 0)
+	b := PSSyncTime(Ethernet10G(), 1<<20, 8, 1)
+	if a != b {
+		t.Fatalf("fanIn clamp broken: %v vs %v", a, b)
+	}
+}
+
+func TestRingLatencyHopsDominateSmallTensors(t *testing.T) {
+	// For a tiny tensor the ring cost is essentially the 2(N−1) latency hops.
+	spec := Ethernet10G()
+	got := RingAllReduceTime(spec, 64, 16)
+	hops := time.Duration(2*15) * spec.Latency
+	if got < hops || got > hops+time.Millisecond {
+		t.Fatalf("small-tensor ring = %v, want ≈ %v", got, hops)
+	}
+}
+
+// TestRingSimMatchesAnalytic cross-validates the analytic ring model against
+// the explicit step-by-step simulation. The analytic model omits the
+// per-step synchronization structure, so agreement within ±25% (tightening
+// as bandwidth dominates latency) validates it.
+func TestRingSimMatchesAnalytic(t *testing.T) {
+	spec := Ethernet10G()
+	for _, tc := range []struct {
+		bytes   int64
+		workers int
+	}{
+		{100 << 20, 4}, {100 << 20, 16}, {512 << 20, 8}, {4 << 20, 8},
+	} {
+		simT := SimulateRingAllReduce(spec, tc.bytes, tc.workers)
+		anT := RingAllReduceTime(spec, tc.bytes, tc.workers)
+		ratio := float64(simT) / float64(anT)
+		if ratio < 0.75 || ratio > 1.25 {
+			t.Errorf("bytes=%d workers=%d: sim=%v analytic=%v ratio=%.2f",
+				tc.bytes, tc.workers, simT, anT, ratio)
+		}
+	}
+}
+
+func TestRingSimSingleWorkerFree(t *testing.T) {
+	if got := SimulateRingAllReduce(Ethernet10G(), 1<<20, 1); got != 0 {
+		t.Fatalf("1 worker = %v, want 0", got)
+	}
+}

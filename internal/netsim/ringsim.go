@@ -1,0 +1,47 @@
+package netsim
+
+import (
+	"time"
+
+	"oooback/internal/sim"
+)
+
+// SimulateRingAllReduce runs an explicit ring all-reduce of n bytes across
+// `workers` nodes connected unidirectionally by per-hop links of the given
+// spec, and returns the completion time. The algorithm is the standard
+// two-phase ring: N−1 reduce-scatter steps followed by N−1 all-gather steps,
+// each step moving one n/N shard across every link simultaneously; a step
+// begins only when every node finished the previous one (the synchronous
+// formulation Horovod uses).
+//
+// It exists to validate the analytic RingAllReduceTime model — see
+// TestRingSimMatchesAnalytic.
+func SimulateRingAllReduce(spec LinkSpec, n int64, workers int) time.Duration {
+	if workers <= 1 {
+		return 0
+	}
+	eng := sim.New()
+	links := make([]*Link, workers) // links[i]: node i → node (i+1)%workers
+	for i := range links {
+		links[i] = NewLink(eng, spec)
+	}
+	shard := n / int64(workers)
+	if shard == 0 {
+		shard = 1
+	}
+	steps := 2 * (workers - 1)
+	var step func(k int)
+	step = func(k int) {
+		if k == steps {
+			return
+		}
+		// Every link carries one shard this step; the next step starts when
+		// all transfers of this one completed.
+		gate := sim.NewGate(workers, func() { step(k + 1) })
+		for i := range links {
+			links[i].Transfer("shard", shard, 0, gate.Done)
+		}
+	}
+	step(0)
+	return eng.Run()
+}

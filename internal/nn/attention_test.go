@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"oooback/internal/tensor"
+)
+
+func TestAttentionRowsAreConvexCombinations(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	a := NewSelfAttention("attn", 6, rng)
+	x := tensor.Randn(rng, 1, 5, 6)
+	out := a.Forward(x)
+	if out.Shape[0] != 5 || out.Shape[1] != 6 {
+		t.Fatalf("shape = %v", out.Shape)
+	}
+	// Attention weights are row-stochastic.
+	for r := 0; r < 5; r++ {
+		var sum float64
+		for c := 0; c < 5; c++ {
+			w := a.attn.At(r, c)
+			if w < 0 || w > 1 {
+				t.Fatalf("attn[%d,%d] = %v outside [0,1]", r, c, w)
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("attn row %d sums to %v", r, sum)
+		}
+	}
+}
+
+func TestAttentionGradientsNumerically(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	a := NewSelfAttention("attn", 4, rng)
+	x := tensor.Randn(rng, 1, 3, 4)
+	loss := func() float64 {
+		out := a.Forward(x)
+		var s float64
+		for _, v := range out.Data {
+			s += v * v / 2
+		}
+		return s
+	}
+	out := a.Forward(x)
+	gradOut := out.Clone() // dL/dout = out for L = Σout²/2
+	gin := a.InputGrad(gradOut)
+	for _, p := range a.Params() {
+		p.ZeroGrad()
+	}
+	a.WeightGrad(gradOut)
+
+	for _, i := range []int{0, 5, 11} {
+		num := numericalGrad(loss, x.Data, i)
+		if math.Abs(num-gin.Data[i]) > 1e-4 {
+			t.Fatalf("attn input grad[%d] = %v, numeric %v", i, gin.Data[i], num)
+		}
+	}
+	for _, p := range []*Param{a.Wq, a.Wk, a.Wv} {
+		for _, i := range []int{0, 7, 15} {
+			num := numericalGrad(loss, p.Value.Data, i)
+			if math.Abs(num-p.Grad.Data[i]) > 1e-4 {
+				t.Fatalf("%s grad[%d] = %v, numeric %v", p.Name, i, p.Grad.Data[i], num)
+			}
+		}
+	}
+}
+
+func TestAttentionDecoupledOrderIndependence(t *testing.T) {
+	// WeightGrad before InputGrad and after must produce identical results —
+	// the decoupling contract the ooo schedules rely on.
+	rng := tensor.NewRNG(5)
+	x := tensor.Randn(rng, 1, 4, 6)
+	g := tensor.Randn(rng, 1, 4, 6)
+
+	mk := func() *SelfAttention { return NewSelfAttention("attn", 6, tensor.NewRNG(42)) }
+
+	a1 := mk()
+	a1.Forward(x)
+	gin1 := a1.InputGrad(g)
+	a1.WeightGrad(g)
+
+	a2 := mk()
+	a2.Forward(x)
+	a2.WeightGrad(g) // δW first
+	gin2 := a2.InputGrad(g)
+
+	if !tensor.Equal(gin1, gin2) {
+		t.Fatal("input gradients depend on δO/δW order")
+	}
+	for i := range a1.Params() {
+		if !tensor.Equal(a1.Params()[i].Grad, a2.Params()[i].Grad) {
+			t.Fatal("weight gradients depend on δO/δW order")
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package nn provides neural-network layers whose backward pass is split
+// into the two independent computations the paper's out-of-order backprop
+// exploits (§3): InputGrad (δO — the gradient flowing to the previous layer)
+// and WeightGrad (δW — the gradient accumulated into the layer's parameters).
+// The two methods may be called in any order, any number of schedule
+// positions apart, as long as each receives the gradient tensor produced for
+// its layer. This is the Go equivalent of the paper's TensorFlow change that
+// removes tf.group around the per-layer gradient pair (§7).
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"oooback/internal/tensor"
+)
+
+// Param is one learnable tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// ZeroGrad clears the gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one network layer with decoupled backward computations.
+type Layer interface {
+	// Name identifies the layer in diagnostics.
+	Name() string
+	// Forward computes the layer output and stores whatever the backward
+	// computations need (input activation, masks, ...).
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	// InputGrad is δO: the gradient w.r.t. the layer input.
+	InputGrad(gradOut *tensor.Tensor) *tensor.Tensor
+	// WeightGrad is δW: accumulates parameter gradients. It must be
+	// independent of InputGrad — callable before or after it.
+	WeightGrad(gradOut *tensor.Tensor)
+	// Params returns the learnable parameters (empty for stateless layers).
+	Params() []*Param
+}
+
+// Dense is a fully connected layer y = xW + b with x [batch, in].
+type Dense struct {
+	name string
+	W, B *Param
+	x    *tensor.Tensor
+}
+
+// NewDense creates a Dense layer with deterministic Xavier-style init.
+func NewDense(name string, in, out int, rng *tensor.RNG) *Dense {
+	scale := math.Sqrt(2.0 / float64(in))
+	return &Dense{
+		name: name,
+		W:    &Param{Name: name + ".W", Value: tensor.Randn(rng, scale, in, out), Grad: tensor.New(in, out)},
+		B:    &Param{Name: name + ".b", Value: tensor.New(1, out), Grad: tensor.New(1, out)},
+	}
+}
+
+func (d *Dense) Name() string { return d.name }
+
+func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	d.x = x
+	out := tensor.MatMul(x, d.W.Value)
+	cols := out.Shape[1]
+	for r := 0; r < out.Shape[0]; r++ {
+		for c := 0; c < cols; c++ {
+			out.Data[r*cols+c] += d.B.Value.Data[c]
+		}
+	}
+	return out
+}
+
+func (d *Dense) InputGrad(gradOut *tensor.Tensor) *tensor.Tensor {
+	return tensor.MatMul(gradOut, tensor.Transpose(d.W.Value))
+}
+
+func (d *Dense) WeightGrad(gradOut *tensor.Tensor) {
+	tensor.AddTo(d.W.Grad, tensor.MatMul(tensor.Transpose(d.x), gradOut))
+	tensor.AddTo(d.B.Grad, tensor.SumRows(gradOut).Reshape(1, gradOut.Shape[1]))
+}
+
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ReLU is the rectifier; stateless apart from its mask.
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+// NewReLU creates a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+func (r *ReLU) Name() string { return r.name }
+
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	r.mask = make([]bool, len(out.Data))
+	for i, v := range out.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+func (r *ReLU) InputGrad(gradOut *tensor.Tensor) *tensor.Tensor {
+	out := gradOut.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+func (r *ReLU) WeightGrad(*tensor.Tensor) {}
+func (r *ReLU) Params() []*Param          { return nil }
+
+// Conv2D is a valid (no padding), stride-1 convolution layer.
+type Conv2D struct {
+	name   string
+	W      *Param
+	kh, kw int
+	x      *tensor.Tensor
+}
+
+// NewConv2D creates a convolution with f filters of c×kh×kw.
+func NewConv2D(name string, f, c, kh, kw int, rng *tensor.RNG) *Conv2D {
+	scale := math.Sqrt(2.0 / float64(c*kh*kw))
+	return &Conv2D{
+		name: name, kh: kh, kw: kw,
+		W: &Param{Name: name + ".W", Value: tensor.Randn(rng, scale, f, c, kh, kw), Grad: tensor.New(f, c, kh, kw)},
+	}
+}
+
+func (l *Conv2D) Name() string { return l.name }
+
+func (l *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.x = x
+	return tensor.Conv2D(x, l.W.Value)
+}
+
+func (l *Conv2D) InputGrad(gradOut *tensor.Tensor) *tensor.Tensor {
+	return tensor.Conv2DInputGrad(gradOut, l.W.Value, l.x.Shape[2], l.x.Shape[3])
+}
+
+func (l *Conv2D) WeightGrad(gradOut *tensor.Tensor) {
+	tensor.AddTo(l.W.Grad, tensor.Conv2DWeightGrad(l.x, gradOut, l.kh, l.kw))
+}
+
+func (l *Conv2D) Params() []*Param { return []*Param{l.W} }
+
+// MaxPool2 is 2×2/stride-2 max pooling.
+type MaxPool2 struct {
+	name    string
+	arg     []int
+	inShape []int
+}
+
+// NewMaxPool2 creates the pooling layer.
+func NewMaxPool2(name string) *MaxPool2 { return &MaxPool2{name: name} }
+
+func (l *MaxPool2) Name() string { return l.name }
+
+func (l *MaxPool2) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.inShape = append([]int(nil), x.Shape...)
+	out, arg := tensor.MaxPool2(x)
+	l.arg = arg
+	return out
+}
+
+func (l *MaxPool2) InputGrad(gradOut *tensor.Tensor) *tensor.Tensor {
+	return tensor.MaxPool2Grad(gradOut, l.arg, l.inShape)
+}
+
+func (l *MaxPool2) WeightGrad(*tensor.Tensor) {}
+func (l *MaxPool2) Params() []*Param          { return nil }
+
+// Flatten reshapes [N, ...] to [N, rest].
+type Flatten struct {
+	name    string
+	inShape []int
+}
+
+// NewFlatten creates the reshaping layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+func (l *Flatten) Name() string { return l.name }
+
+func (l *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.inShape = append([]int(nil), x.Shape...)
+	n := x.Shape[0]
+	return x.Reshape(n, x.Len()/n)
+}
+
+func (l *Flatten) InputGrad(gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.Reshape(l.inShape...)
+}
+
+func (l *Flatten) WeightGrad(*tensor.Tensor) {}
+func (l *Flatten) Params() []*Param          { return nil }
+
+// SoftmaxCrossEntropy is the classification head: given logits [N, classes]
+// and integer labels, Loss returns the mean cross-entropy and the gradient
+// w.r.t. the logits (the δO_{L+1} of the paper's formulation).
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if logits.Dims() != 2 || logits.Shape[0] != len(labels) {
+		panic(fmt.Sprintf("nn: logits %v vs %d labels", logits.Shape, len(labels)))
+	}
+	n, c := logits.Shape[0], logits.Shape[1]
+	grad := tensor.New(n, c)
+	var loss float64
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - maxV)
+		}
+		logZ := math.Log(sum) + maxV
+		y := labels[i]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, c))
+		}
+		loss += logZ - row[y]
+		for j := 0; j < c; j++ {
+			p := math.Exp(row[j]-maxV) / sum
+			grad.Data[i*c+j] = p / float64(n)
+		}
+		grad.Data[i*c+y] -= 1 / float64(n)
+	}
+	return loss / float64(n), grad
+}

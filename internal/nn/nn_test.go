@@ -1,0 +1,307 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"oooback/internal/tensor"
+)
+
+// numericalGrad computes dLoss/dparam[i] by central differences.
+func numericalGrad(loss func() float64, data []float64, i int) float64 {
+	const eps = 1e-6
+	orig := data[i]
+	data[i] = orig + eps
+	up := loss()
+	data[i] = orig - eps
+	down := loss()
+	data[i] = orig
+	return (up - down) / (2 * eps)
+}
+
+func sumAll(t *tensor.Tensor) float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	d := NewDense("fc", 4, 3, rng)
+	x := tensor.Randn(rng, 1, 2, 4)
+	loss := func() float64 { return sumAll(d.Forward(x)) }
+	out := d.Forward(x)
+	gradOut := tensor.New(out.Shape...)
+	for i := range gradOut.Data {
+		gradOut.Data[i] = 1
+	}
+	gin := d.InputGrad(gradOut)
+	d.W.ZeroGrad()
+	d.B.ZeroGrad()
+	d.WeightGrad(gradOut)
+	for _, i := range []int{0, 5, 11} {
+		num := numericalGrad(loss, d.W.Value.Data, i)
+		if math.Abs(num-d.W.Grad.Data[i]) > 1e-5 {
+			t.Fatalf("W grad[%d] = %v, numeric %v", i, d.W.Grad.Data[i], num)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		num := numericalGrad(loss, d.B.Value.Data, i)
+		if math.Abs(num-d.B.Grad.Data[i]) > 1e-5 {
+			t.Fatalf("B grad[%d] = %v, numeric %v", i, d.B.Grad.Data[i], num)
+		}
+	}
+	for _, i := range []int{0, 7} {
+		num := numericalGrad(loss, x.Data, i)
+		if math.Abs(num-gin.Data[i]) > 1e-5 {
+			t.Fatalf("input grad[%d] = %v, numeric %v", i, gin.Data[i], num)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := NewReLU("relu")
+	x := tensor.FromSlice([]float64{-1, 0, 2, -3}, 1, 4)
+	out := r.Forward(x)
+	want := []float64{0, 0, 2, 0}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("relu = %v", out.Data)
+		}
+	}
+	g := tensor.FromSlice([]float64{1, 1, 1, 1}, 1, 4)
+	gin := r.InputGrad(g)
+	wantG := []float64{0, 0, 1, 0}
+	for i := range wantG {
+		if gin.Data[i] != wantG[i] {
+			t.Fatalf("relu grad = %v", gin.Data)
+		}
+	}
+	if len(r.Params()) != 0 {
+		t.Fatal("relu has params")
+	}
+}
+
+func TestConv2DLayerGradientsNumerically(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	l := NewConv2D("conv", 2, 1, 3, 3, rng)
+	x := tensor.Randn(rng, 1, 1, 1, 5, 5)
+	loss := func() float64 { return sumAll(l.Forward(x)) }
+	out := l.Forward(x)
+	gradOut := tensor.New(out.Shape...)
+	for i := range gradOut.Data {
+		gradOut.Data[i] = 1
+	}
+	l.W.ZeroGrad()
+	l.WeightGrad(gradOut)
+	gin := l.InputGrad(gradOut)
+	for _, i := range []int{0, 9, 17} {
+		num := numericalGrad(loss, l.W.Value.Data, i)
+		if math.Abs(num-l.W.Grad.Data[i]) > 1e-5 {
+			t.Fatalf("conv W grad[%d] = %v, numeric %v", i, l.W.Grad.Data[i], num)
+		}
+	}
+	for _, i := range []int{0, 12, 24} {
+		num := numericalGrad(loss, x.Data, i)
+		if math.Abs(num-gin.Data[i]) > 1e-5 {
+			t.Fatalf("conv input grad[%d] = %v, numeric %v", i, gin.Data[i], num)
+		}
+	}
+}
+
+func TestWeightGradAccumulates(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	d := NewDense("fc", 2, 2, rng)
+	x := tensor.Randn(rng, 1, 1, 2)
+	out := d.Forward(x)
+	g := tensor.New(out.Shape...)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	d.W.ZeroGrad()
+	d.WeightGrad(g)
+	once := d.W.Grad.Clone()
+	d.WeightGrad(g)
+	twice := d.W.Grad
+	for i := range once.Data {
+		if twice.Data[i] != 2*once.Data[i] {
+			t.Fatal("WeightGrad does not accumulate")
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	logits := tensor.FromSlice([]float64{2, 0, 0, 0, 3, 0}, 2, 3)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0, 1})
+	if loss <= 0 || math.IsNaN(loss) {
+		t.Fatalf("loss = %v", loss)
+	}
+	// Gradient rows sum to zero (softmax property).
+	for r := 0; r < 2; r++ {
+		var s float64
+		for c := 0; c < 3; c++ {
+			s += grad.At(r, c)
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("grad row %d sums to %v", r, s)
+		}
+	}
+	// Correct-class gradient is negative.
+	if grad.At(0, 0) >= 0 || grad.At(1, 1) >= 0 {
+		t.Fatal("correct-class gradient not negative")
+	}
+}
+
+func TestSoftmaxCrossEntropyNumerically(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	logits := tensor.Randn(rng, 1, 2, 4)
+	labels := []int{3, 1}
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	loss := func() float64 {
+		l, _ := SoftmaxCrossEntropy(logits, labels)
+		return l
+	}
+	for _, i := range []int{0, 3, 5, 7} {
+		num := numericalGrad(loss, logits.Data, i)
+		if math.Abs(num-grad.Data[i]) > 1e-5 {
+			t.Fatalf("ce grad[%d] = %v, numeric %v", i, grad.Data[i], num)
+		}
+	}
+}
+
+func TestOptimizersDescend(t *testing.T) {
+	// Minimize f(w) = Σ w² from the same start with each optimizer.
+	mk := func() *Param {
+		v := tensor.FromSlice([]float64{3, -2, 1}, 3)
+		return &Param{Name: "w", Value: v, Grad: tensor.New(3)}
+	}
+	opts := map[string]Optimizer{
+		"sgd":      &SGD{LR: 0.1},
+		"momentum": &Momentum{LR: 0.05, Beta: 0.9},
+		"rmsprop":  &RMSProp{LR: 0.05, Decay: 0.9},
+		"adam":     &Adam{LR: 0.1},
+	}
+	for name, opt := range opts {
+		p := mk()
+		normSq := func() float64 {
+			var s float64
+			for _, v := range p.Value.Data {
+				s += v * v
+			}
+			return s
+		}
+		start := normSq()
+		for it := 0; it < 100; it++ {
+			for i, v := range p.Value.Data {
+				p.Grad.Data[i] = 2 * v
+			}
+			opt.Step([]*Param{p})
+		}
+		if end := normSq(); end >= start/10 {
+			t.Errorf("%s did not descend: %v -> %v", name, start, end)
+		}
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	f := NewFlatten("flat")
+	x := tensor.New(2, 3, 4, 4)
+	out := f.Forward(x)
+	if out.Shape[0] != 2 || out.Shape[1] != 48 {
+		t.Fatalf("flatten shape = %v", out.Shape)
+	}
+	g := tensor.New(2, 48)
+	back := f.InputGrad(g)
+	if len(back.Shape) != 4 || back.Shape[3] != 4 {
+		t.Fatalf("unflatten shape = %v", back.Shape)
+	}
+}
+
+// Property: Dense InputGrad is linear in gradOut.
+func TestDenseInputGradLinearProperty(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	d := NewDense("fc", 3, 3, rng)
+	x := tensor.Randn(rng, 1, 2, 3)
+	d.Forward(x)
+	f := func(seed uint64, scale uint8) bool {
+		r := tensor.NewRNG(seed)
+		g := tensor.Randn(r, 1, 2, 3)
+		s := float64(scale%7) + 1
+		a := d.InputGrad(tensor.Scale(g, s))
+		b := tensor.Scale(d.InputGrad(g), s)
+		return tensor.MaxAbsDiff(a, b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRSchedules(t *testing.T) {
+	if ConstantLR(0.1)(5) != 0.1 {
+		t.Fatal("constant LR wrong")
+	}
+	sd := StepDecayLR(1.0, 0.5, 10)
+	if sd(0) != 1.0 || sd(9) != 1.0 || sd(10) != 0.5 || sd(20) != 0.25 {
+		t.Fatalf("step decay: %v %v %v", sd(9), sd(10), sd(20))
+	}
+	cos := CosineLR(1.0, 0.1, 100)
+	if cos(0) != 1.0 {
+		t.Fatalf("cosine start = %v", cos(0))
+	}
+	if got := cos(100); got != 0.1 {
+		t.Fatalf("cosine end = %v", got)
+	}
+	mid := cos(50)
+	if mid <= 0.1 || mid >= 1.0 {
+		t.Fatalf("cosine mid = %v", mid)
+	}
+	// Monotone non-increasing over the horizon.
+	prev := cos(0)
+	for s := 1; s <= 100; s++ {
+		if cos(s) > prev {
+			t.Fatalf("cosine increased at %d", s)
+		}
+		prev = cos(s)
+	}
+	warm := WarmupLR(ConstantLR(1.0), 4)
+	if warm(0) != 0.25 || warm(3) != 1.0 || warm(10) != 1.0 {
+		t.Fatalf("warmup: %v %v %v", warm(0), warm(3), warm(10))
+	}
+}
+
+func TestScheduledTrainingStillDeterministic(t *testing.T) {
+	// A schedule-driven LR must not break the bit-for-bit equivalence of ooo
+	// schedules (the LR depends only on the step index).
+	sched := WarmupLR(CosineLR(0.05, 0.005, 20), 3)
+	run := func() []float64 {
+		rng := tensor.NewRNG(5)
+		d := NewDense("fc", 4, 2, rng)
+		x := tensor.Randn(rng, 1, 8, 4)
+		labels := []int{0, 1, 0, 1, 0, 1, 0, 1}
+		opt := &Momentum{Beta: 0.9}
+		var losses []float64
+		for step := 0; step < 20; step++ {
+			opt.LR = sched(step)
+			d.W.ZeroGrad()
+			d.B.ZeroGrad()
+			logits := d.Forward(x)
+			loss, grad := SoftmaxCrossEntropy(logits, labels)
+			d.WeightGrad(grad)
+			opt.Step(d.Params())
+			losses = append(losses, loss)
+		}
+		return losses
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("scheduled training nondeterministic")
+		}
+	}
+	if a[len(a)-1] >= a[0] {
+		t.Fatalf("scheduled training did not converge: %v -> %v", a[0], a[len(a)-1])
+	}
+}

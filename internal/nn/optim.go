@@ -1,0 +1,168 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients. The four
+// optimizers the paper trains with (§8.1) are provided: SGD, momentum,
+// RMSProp and Adam.
+type Optimizer interface {
+	// Step applies one update to every parameter and leaves gradients intact
+	// (callers zero them at iteration start).
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent.
+type SGD struct{ LR float64 }
+
+// Step applies w ← w − lr·g.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		for i := range p.Value.Data {
+			p.Value.Data[i] -= o.LR * p.Grad.Data[i]
+		}
+	}
+}
+
+// Momentum is SGD with classical momentum (the optimizer the paper reports
+// throughput with).
+type Momentum struct {
+	LR, Beta float64
+	vel      map[*Param][]float64
+}
+
+// Step applies v ← βv + g; w ← w − lr·v.
+func (o *Momentum) Step(params []*Param) {
+	if o.vel == nil {
+		o.vel = make(map[*Param][]float64)
+	}
+	for _, p := range params {
+		v := o.vel[p]
+		if v == nil {
+			v = make([]float64, len(p.Value.Data))
+			o.vel[p] = v
+		}
+		for i := range p.Value.Data {
+			v[i] = o.Beta*v[i] + p.Grad.Data[i]
+			p.Value.Data[i] -= o.LR * v[i]
+		}
+	}
+}
+
+// RMSProp divides the step by a running RMS of gradients.
+type RMSProp struct {
+	LR, Decay, Eps float64
+	sq             map[*Param][]float64
+}
+
+// Step applies s ← ρs + (1−ρ)g²; w ← w − lr·g/√(s+ε).
+func (o *RMSProp) Step(params []*Param) {
+	if o.sq == nil {
+		o.sq = make(map[*Param][]float64)
+	}
+	eps := o.Eps
+	if eps == 0 {
+		eps = 1e-8
+	}
+	for _, p := range params {
+		s := o.sq[p]
+		if s == nil {
+			s = make([]float64, len(p.Value.Data))
+			o.sq[p] = s
+		}
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i]
+			s[i] = o.Decay*s[i] + (1-o.Decay)*g*g
+			p.Value.Data[i] -= o.LR * g / math.Sqrt(s[i]+eps)
+		}
+	}
+}
+
+// Adam is the optimizer the paper uses for BERT and GPT (§8.1).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param][]float64
+}
+
+// Step applies the bias-corrected Adam update.
+func (o *Adam) Step(params []*Param) {
+	if o.m == nil {
+		o.m = make(map[*Param][]float64)
+		o.v = make(map[*Param][]float64)
+	}
+	b1, b2 := o.Beta1, o.Beta2
+	if b1 == 0 {
+		b1 = 0.9
+	}
+	if b2 == 0 {
+		b2 = 0.999
+	}
+	eps := o.Eps
+	if eps == 0 {
+		eps = 1e-8
+	}
+	o.t++
+	c1 := 1 - math.Pow(b1, float64(o.t))
+	c2 := 1 - math.Pow(b2, float64(o.t))
+	for _, p := range params {
+		m, v := o.m[p], o.v[p]
+		if m == nil {
+			m = make([]float64, len(p.Value.Data))
+			v = make([]float64, len(p.Value.Data))
+			o.m[p], o.v[p] = m, v
+		}
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i]
+			m[i] = b1*m[i] + (1-b1)*g
+			v[i] = b2*v[i] + (1-b2)*g*g
+			p.Value.Data[i] -= o.LR * (m[i] / c1) / (math.Sqrt(v[i]/c2) + eps)
+		}
+	}
+}
+
+// LRSchedule maps a 0-based training step to a learning rate. Combine with
+// the optimizers by assigning their LR field before each step.
+type LRSchedule func(step int) float64
+
+// ConstantLR returns base at every step.
+func ConstantLR(base float64) LRSchedule {
+	return func(int) float64 { return base }
+}
+
+// StepDecayLR multiplies base by factor every `every` steps.
+func StepDecayLR(base, factor float64, every int) LRSchedule {
+	if every <= 0 {
+		panic("nn: non-positive decay interval")
+	}
+	return func(step int) float64 {
+		return base * math.Pow(factor, float64(step/every))
+	}
+}
+
+// CosineLR anneals from base to min over total steps, then holds min.
+func CosineLR(base, min float64, total int) LRSchedule {
+	if total <= 0 {
+		panic("nn: non-positive schedule length")
+	}
+	return func(step int) float64 {
+		if step >= total {
+			return min
+		}
+		return min + (base-min)*(1+math.Cos(math.Pi*float64(step)/float64(total)))/2
+	}
+}
+
+// WarmupLR ramps linearly from 0 to the inner schedule's value over `steps`,
+// then defers to it.
+func WarmupLR(inner LRSchedule, steps int) LRSchedule {
+	if steps <= 0 {
+		panic("nn: non-positive warmup length")
+	}
+	return func(step int) float64 {
+		v := inner(step)
+		if step < steps {
+			return v * float64(step+1) / float64(steps)
+		}
+		return v
+	}
+}

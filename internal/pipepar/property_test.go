@@ -1,0 +1,86 @@
+package pipepar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oooback/internal/models"
+	"oooback/internal/netsim"
+)
+
+// randomAlloc builds an arbitrary (possibly terrible) layer→GPU map.
+func randomAlloc(L, gpus int, rng *rand.Rand) []int {
+	out := make([]int, L)
+	for i := range out {
+		out[i] = rng.Intn(gpus)
+	}
+	return out
+}
+
+// Property: the engine never deadlocks and always produces a positive period
+// for arbitrary allocations, micro-batch counts, schedules and policies.
+// (Run panics on deadlock, so completing at all is the assertion.)
+func TestNoDeadlockProperty(t *testing.T) {
+	m := models.FFNN(models.V100Profile(), 8, 1024, 256)
+	f := func(seed int64, microRaw, gpuRaw, schedRaw uint8, ff bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gpus := int(gpuRaw%4) + 1
+		micro := int(microRaw%4) + 1
+		sched := []Schedule{GPipe, PipeDream, DAPPLE}[schedRaw%3]
+		r := Run(m, Config{
+			GPUs: gpus, MicroBatches: micro,
+			Alloc:       randomAlloc(8, gpus, rng),
+			FastForward: ff, Schedule: sched, MaxVersions: 2,
+			Link: netsim.NVLink(), Iterations: 3,
+		})
+		return r.Period > 0 && r.Throughput > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the period is bounded below by the bottleneck GPU's per-iteration
+// compute (work conservation) for synchronous schedules.
+func TestPeriodBottleneckBoundProperty(t *testing.T) {
+	m := models.FFNN(models.V100Profile(), 8, 1024, 256)
+	f := func(seed int64, gpuRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gpus := int(gpuRaw%4) + 1
+		alloc := randomAlloc(8, gpus, rng)
+		r := Run(m, Config{
+			GPUs: gpus, MicroBatches: 2, Alloc: alloc,
+			Schedule: GPipe, Link: netsim.NVLink(), Iterations: 2,
+		})
+		// Bottleneck: total per-GPU compute, ignoring overheads.
+		perGPU := make([]int64, gpus)
+		for i, l := range m.Layers {
+			perGPU[alloc[i]] += int64(l.Fwd + l.DO + l.DW)
+		}
+		var bottleneck int64
+		for _, w := range perGPU {
+			if w > bottleneck {
+				bottleneck = w
+			}
+		}
+		return int64(r.Period) >= bottleneck
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more micro-batches never break determinism or legality; repeated
+// runs agree exactly.
+func TestRepeatabilityProperty(t *testing.T) {
+	m := models.FFNN(models.V100Profile(), 8, 1024, 256)
+	f := func(microRaw uint8, ff bool) bool {
+		micro := int(microRaw%6) + 1
+		cfg := cfgMP(m, 2, micro, ff, true)
+		return Run(m, cfg).Period == Run(m, cfg).Period
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import "container/heap"
+
+// Server models a resource that serves one request at a time (a GPU issue
+// thread, a link direction, ...). Requests are served in priority order
+// (lower value first), FIFO within a priority. Each request occupies the
+// server for its service duration; when it finishes, done is invoked.
+type Server struct {
+	eng   *Engine
+	busy  bool
+	queue reqHeap
+	seq   uint64
+}
+
+type request struct {
+	prio int
+	seq  uint64
+	dur  Time
+	done func(start, end Time)
+}
+
+type reqHeap []request
+
+func (h reqHeap) Len() int { return len(h) }
+func (h reqHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h reqHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *reqHeap) Push(x any)   { *h = append(*h, x.(request)) }
+func (h *reqHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	*h = old[:n-1]
+	return r
+}
+
+// NewServer returns a Server bound to the engine.
+func NewServer(eng *Engine) *Server { return &Server{eng: eng} }
+
+// Submit enqueues a request with the given priority and service time. done is
+// called when service completes, with the service start and end times; it may
+// be nil.
+func (s *Server) Submit(prio int, dur Time, done func(start, end Time)) {
+	if dur < 0 {
+		panic("sim: negative service time")
+	}
+	heap.Push(&s.queue, request{prio: prio, seq: s.seq, dur: dur, done: done})
+	s.seq++
+	if !s.busy {
+		s.dispatch()
+	}
+}
+
+// Busy reports whether the server is currently serving a request.
+func (s *Server) Busy() bool { return s.busy }
+
+// QueueLen reports the number of waiting (not in-service) requests.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+func (s *Server) dispatch() {
+	if len(s.queue) == 0 {
+		s.busy = false
+		return
+	}
+	s.busy = true
+	r := heap.Pop(&s.queue).(request)
+	start := s.eng.Now()
+	s.eng.After(r.dur, func() {
+		if r.done != nil {
+			r.done(start, s.eng.Now())
+		}
+		s.dispatch()
+	})
+}
+
+// Gate is a counting barrier: Arm it with a count, and it fires fn once that
+// many Done calls have been made. A Gate armed with zero fires immediately.
+type Gate struct {
+	remaining int
+	fn        func()
+	fired     bool
+}
+
+// NewGate returns a gate that fires fn after n completions.
+func NewGate(n int, fn func()) *Gate {
+	g := &Gate{remaining: n, fn: fn}
+	if n <= 0 {
+		g.fire()
+	}
+	return g
+}
+
+// Done records one completion.
+func (g *Gate) Done() {
+	if g.fired {
+		return
+	}
+	g.remaining--
+	if g.remaining <= 0 {
+		g.fire()
+	}
+}
+
+func (g *Gate) fire() {
+	g.fired = true
+	if g.fn != nil {
+		g.fn()
+	}
+}

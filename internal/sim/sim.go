@@ -1,0 +1,168 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is intentionally small: a virtual clock, an event heap with
+// stable tie-breaking, and a handful of helpers for modelling busy resources.
+// Every simulator in this repository (the GPU model in gpusim, the network
+// model in netsim, and the training engines built on top of them) schedules
+// work through a single Engine so that concurrent activities interleave in a
+// reproducible order.
+//
+// Determinism rules: events that fire at the same virtual time run in the
+// order they were scheduled (FIFO by sequence number). No wall-clock time or
+// randomness is consulted anywhere in the kernel.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured as a Duration since the start of
+// the simulation. Using time.Duration keeps unit handling explicit at call
+// sites (e.g. 15*time.Microsecond) while remaining a plain int64 internally.
+type Time = time.Duration
+
+// MaxTime is the largest representable virtual time. It is used as the "never"
+// sentinel by schedulers that track the next wakeup of an idle resource.
+const MaxTime Time = math.MaxInt64
+
+// Event is a unit of work scheduled to run at a virtual time.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int // heap index, -1 once popped or cancelled
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is ready to
+// use. Engines are not safe for concurrent use; simulations are expected to
+// be single-goroutine (all concurrency is virtual).
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	steps  uint64
+}
+
+// New returns a fresh Engine at virtual time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far; useful for loop guards
+// in tests.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Schedule runs fn at the given absolute virtual time. Scheduling in the past
+// panics, since it always indicates a bug in the caller's time arithmetic.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After runs fn after delay d relative to the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Pending reports the number of live events in the queue.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Step executes the next event, advancing the clock. It reports whether an
+// event was executed (false means the queue was empty).
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.steps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ deadline, leaves later events queued,
+// and advances the clock to the deadline.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 {
+		// Peek without popping.
+		next := e.events[0]
+		if next.dead {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("end = %v, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineStableTieBreak(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie break not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	var fired []time.Duration
+	e.Schedule(10, func() {
+		e.After(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 1 || fired[0] != 15 {
+		t.Fatalf("nested fire times = %v, want [15]", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEventCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.RunUntil(20)
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(20) executed %d events, want 2", len(got))
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(got) != 3 {
+		t.Fatalf("Run after RunUntil executed %d events total, want 3", len(got))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := New()
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestServerFIFOWithinPriority(t *testing.T) {
+	e := New()
+	s := NewServer(e)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Submit(0, 10, func(start, end Time) { order = append(order, i) })
+	}
+	end := e.Run()
+	if end != 50 {
+		t.Fatalf("makespan = %v, want 50", end)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("service order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestServerPriorityPreemptsQueueNotService(t *testing.T) {
+	e := New()
+	s := NewServer(e)
+	var order []string
+	s.Submit(1, 10, func(_, _ Time) { order = append(order, "low1") })
+	s.Submit(1, 10, func(_, _ Time) { order = append(order, "low2") })
+	// Arrives while low1 is in service; must jump ahead of low2 but not
+	// preempt low1.
+	e.Schedule(5, func() {
+		s.Submit(0, 10, func(start, _ Time) {
+			if start != 10 {
+				t.Errorf("high started at %v, want 10", start)
+			}
+			order = append(order, "high")
+		})
+	})
+	e.Run()
+	want := []string{"low1", "high", "low2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestServerIdleThenBusy(t *testing.T) {
+	e := New()
+	s := NewServer(e)
+	var starts []Time
+	s.Submit(0, 5, func(start, _ Time) { starts = append(starts, start) })
+	e.Schedule(100, func() {
+		s.Submit(0, 5, func(start, _ Time) { starts = append(starts, start) })
+	})
+	e.Run()
+	if starts[0] != 0 || starts[1] != 100 {
+		t.Fatalf("starts = %v, want [0 100]", starts)
+	}
+}
+
+func TestGate(t *testing.T) {
+	fired := false
+	g := NewGate(3, func() { fired = true })
+	g.Done()
+	g.Done()
+	if fired {
+		t.Fatal("gate fired early")
+	}
+	g.Done()
+	if !fired {
+		t.Fatal("gate did not fire")
+	}
+	g.Done() // extra Done is a no-op
+}
+
+func TestGateZero(t *testing.T) {
+	fired := false
+	NewGate(0, func() { fired = true })
+	if !fired {
+		t.Fatal("zero gate did not fire immediately")
+	}
+}
+
+// Property: for any set of non-negative service times submitted at time zero
+// with equal priority, the server's makespan equals their sum and service is
+// back-to-back.
+func TestServerMakespanProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		e := New()
+		s := NewServer(e)
+		var total Time
+		prevEnd := Time(0)
+		ok := true
+		for _, d := range durs {
+			d := Time(d)
+			total += d
+			s.Submit(0, d, func(start, end Time) {
+				if start != prevEnd {
+					ok = false
+				}
+				prevEnd = end
+			})
+		}
+		end := e.Run()
+		return ok && end == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: events fire in nondecreasing time order regardless of insertion
+// order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := New()
+		var fired []Time
+		for _, at := range times {
+			e.Schedule(Time(at), func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package singlegpu
+
+import (
+	"oooback/internal/sim"
+	"oooback/internal/trace"
+)
+
+// issueEager models the eager executor path: a single CPU issue thread walks
+// the kernel list, spending each item's issue cost before the kernel becomes
+// visible to the GPU, and never running more than IssueWindow kernels ahead
+// of execution. The bounded lead is what Fig 2 shows: early big kernels let
+// the executor bank a lead that masks issue latency, but once the GPU chews
+// through the lead in a region of small kernels, every kernel waits out its
+// own issue latency.
+func issueEager(eng *sim.Engine, tr *trace.Trace, exec Executor, items []loweredKernel) {
+	window := exec.IssueWindow
+	if window <= 0 {
+		window = int(^uint(0) >> 1) // unbounded
+	}
+	queue := items
+	inflight := 0
+	busy := false
+	var pump func()
+	pump = func() {
+		if busy || len(queue) == 0 || inflight >= window {
+			return
+		}
+		it := queue[0]
+		queue = queue[1:]
+		busy = true
+		inflight++
+		name := it.kernel.Name
+		start := eng.Now()
+		prevDone := it.kernel.OnDone
+		it.kernel.OnDone = func() {
+			if prevDone != nil {
+				prevDone()
+			}
+			inflight--
+			pump()
+		}
+		eng.After(it.issue, func() {
+			tr.Add("issue", name, "issue", start, eng.Now())
+			it.stream.Submit(it.kernel)
+			busy = false
+			pump()
+		})
+	}
+	pump()
+}

@@ -1,0 +1,208 @@
+package singlegpu
+
+import (
+	"sort"
+	"strconv"
+
+	"oooback/internal/gpusim"
+	"oooback/internal/models"
+	"oooback/internal/sim"
+	"oooback/internal/trace"
+)
+
+// MemoryStudyResult compares the §7 temporary-memory reclamation policies.
+// All values are peak bytes of kernel *workspace* allocations (im2col
+// buffers and the like) — the temporaries whose lifetime the reclamation
+// policy controls. Gradient tensors retained by deferred δW are reported
+// separately (GradRetention): their lifetime is a property of the ooo
+// schedule, identical under every allocator policy.
+type MemoryStudyResult struct {
+	// SingleStream is TensorFlow's efficient single-stream policy: a
+	// kernel's memory is reclaimed as soon as the kernel is issued and no
+	// later-issued kernel references it (reuse follows issue order, which
+	// equals execution order on one stream).
+	SingleStream int64
+	// GenericMulti is TensorFlow's generic multi-stream support: because
+	// issue order no longer equals execution order, every temporary is
+	// retained until its consumers' execution completes — including the
+	// workspaces of main-stream kernels that never needed the protection.
+	GenericMulti int64
+	// Lightweight is the paper's §7 design: main-stream tensors keep the
+	// issue-order policy; only the sub-stream δW workspaces (served from a
+	// separate allocator) pay completion-based retention.
+	Lightweight int64
+	// GradRetention is the peak of gradient tensors held for deferred δW —
+	// the schedule-inherent memory cost (Fig 9), unchanged by the policy.
+	GradRetention int64
+}
+
+// interval is one allocation's lifetime on a timeline.
+type interval struct {
+	start, end sim.Time
+	bytes      int64
+}
+
+// peakOf sweeps the intervals and returns the maximum concurrent bytes.
+func peakOf(ivs []interval) int64 {
+	type ev struct {
+		at    sim.Time
+		delta int64
+	}
+	var evs []ev
+	for _, iv := range ivs {
+		if iv.end < iv.start {
+			iv.end = iv.start
+		}
+		evs = append(evs, ev{iv.start, iv.bytes}, ev{iv.end, -iv.bytes})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].delta < evs[j].delta // frees before allocs at ties
+	})
+	var cur, peak int64
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// kernelClock holds the issue and execution end times of each kernel,
+// extracted from a Run's trace.
+type kernelClock struct {
+	issueEnd  map[string]sim.Time
+	execStart map[string]sim.Time
+	execEnd   map[string]sim.Time
+	stream    map[string]string
+	order     []string // issue order
+}
+
+func clockFromTrace(tr *trace.Trace) kernelClock {
+	kc := kernelClock{
+		issueEnd:  map[string]sim.Time{},
+		execStart: map[string]sim.Time{},
+		execEnd:   map[string]sim.Time{},
+		stream:    map[string]string{},
+	}
+	for _, s := range tr.Spans {
+		switch s.Lane {
+		case "issue":
+			kc.issueEnd[s.Label] = s.End
+			kc.order = append(kc.order, s.Label)
+		default:
+			kc.execStart[s.Label] = s.Start
+			kc.execEnd[s.Label] = s.End
+			kc.stream[s.Label] = s.Lane
+		}
+	}
+	return kc
+}
+
+// layerOf parses a kernel name ("F12", "O3", "W5") into kind and layer.
+func layerOf(name string) (kind byte, layer int) {
+	if len(name) < 2 {
+		return 0, 0
+	}
+	n, err := strconv.Atoi(name[1:])
+	if err != nil {
+		return 0, 0
+	}
+	return name[0], n
+}
+
+// MemoryStudy runs the §7 comparison on a model: an eager single-stream XLA
+// run for the baseline policy, and an eager two-stream ooo run for the
+// multi-stream policies.
+func MemoryStudy(m *models.Model, gpu gpusim.Config) MemoryStudyResult {
+	// Eager executors so issue times are meaningful (§7 concerns the
+	// TensorFlow executor, not the pre-compiled path).
+	single := XLA()
+	multi := XLA()
+	multi.Name = "XLA+Opt2"
+	multi.MultiStreamOOO = true
+
+	// Single iterations: the study's maps key kernels by name.
+	var sTr, mTr trace.Trace
+	_, _, _, _ = runIters(m, single, gpu, 1, &sTr)
+	_, _, _, _ = runIters(m, multi, gpu, 1, &mTr)
+	sc := clockFromTrace(&sTr)
+	mc := clockFromTrace(&mTr)
+
+	L := len(m.Layers)
+	work := func(i int) int64 { return m.Layers[i-1].WorkBytes }
+	grad := func(i int) int64 { return m.Layers[i-1].OutBytes }
+
+	// gradProducer returns the kernel producing g_i (consumed by O_i, W_i).
+	gradProducer := func(i int) string {
+		if i == L {
+			return "F" + strconv.Itoa(L)
+		}
+		return "O" + strconv.Itoa(i+1)
+	}
+
+	// Single-stream policy: a workspace is reclaimed at its own issue slot
+	// (the next-issued kernel may reuse it), so at most one is live.
+	var res MemoryStudyResult
+	for _, name := range sc.order {
+		k, i := layerOf(name)
+		if k != 0 && work(i) > res.SingleStream {
+			res.SingleStream = work(i)
+		}
+	}
+
+	// Generic multi-stream: every workspace is retained from its kernel's
+	// issue to its execution completion (wall clock) — with the executor
+	// running tens of kernels ahead, many are live at once.
+	var gen []interval
+	for name := range mc.issueEnd {
+		k, i := layerOf(name)
+		if k != 0 && work(i) > 0 {
+			gen = append(gen, interval{mc.issueEnd[name], mc.execEnd[name], work(i)})
+		}
+	}
+	res.GenericMulti = peakOf(gen)
+
+	// Lightweight (§7): main-stream workspaces keep the issue-slot policy
+	// (one live at a time). Sub-stream δW workspaces come from the separate
+	// allocator, which — because the scheduler owns the sub-stream — defers
+	// each allocation to the kernel's execution window instead of its issue.
+	var mainPeak int64
+	var sub []interval
+	for name, lane := range mc.stream {
+		k, i := layerOf(name)
+		if k == 0 {
+			continue
+		}
+		if lane == "sub" {
+			if w := work(i); w > 0 {
+				sub = append(sub, interval{mc.execStart[name], mc.execEnd[name], w})
+			}
+		} else if w := work(i); w > mainPeak {
+			mainPeak = w
+		}
+	}
+	res.Lightweight = mainPeak + peakOf(sub)
+
+	// Gradient retention: g_i lives from its producer until both consumers
+	// executed — identical under every policy; reported for context.
+	var grads []interval
+	for i := 1; i <= L; i++ {
+		prodIssue, ok := mc.issueEnd[gradProducer(i)]
+		if !ok {
+			continue
+		}
+		end := prodIssue
+		for _, c := range []string{"O" + strconv.Itoa(i), "W" + strconv.Itoa(i)} {
+			if e, ok := mc.execEnd[c]; ok && e > end {
+				end = e
+			}
+		}
+		grads = append(grads, interval{prodIssue, end, grad(i)})
+	}
+	res.GradRetention = peakOf(grads)
+	return res
+}

@@ -1,0 +1,185 @@
+package tensor
+
+import "fmt"
+
+// Conv2D computes a same-stride-1 valid convolution of x [N,C,H,W] with
+// weights w [F,C,KH,KW], producing [N,F,H−KH+1,W−KW+1]. The implementation
+// is im2col + MatMul, mirroring how real frameworks lower convolutions (and
+// why the paper's §4.1 notes the two gradient convolutions share little
+// cache state: each first builds its own large im2col matrix).
+func Conv2D(x, w *Tensor) *Tensor {
+	n, c, h, wd := conv2dDims(x)
+	f, wc, kh, kw := conv2dDims(w)
+	if wc != c {
+		panic(fmt.Sprintf("tensor: Conv2D channels %d vs %d", wc, c))
+	}
+	oh, ow := h-kh+1, wd-kw+1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Conv2D kernel %dx%d too large for %dx%d", kh, kw, h, wd))
+	}
+	cols := im2col(x, kh, kw) // [N*oh*ow, C*kh*kw]
+	wm := w.Reshape(f, c*kh*kw)
+	out := MatMul(cols, Transpose(wm)) // [N*oh*ow, F]
+	return nchwFromRows(out, n, f, oh, ow)
+}
+
+// Conv2DInputGrad computes the gradient w.r.t. x given gradOut [N,F,OH,OW]
+// and weights w [F,C,KH,KW] — the δO computation of a conv layer.
+func Conv2DInputGrad(gradOut, w *Tensor, h, wd int) *Tensor {
+	n, f, _, _ := conv2dDims(gradOut)
+	wf, c, kh, kw := conv2dDims(w)
+	if wf != f {
+		panic(fmt.Sprintf("tensor: Conv2DInputGrad filters %d vs %d", wf, f))
+	}
+	rows := rowsFromNCHW(gradOut)               // [N*oh*ow, F]
+	wm := w.Reshape(f, c*kh*kw)                 // [F, C*kh*kw]
+	colGrad := MatMul(rows, wm)                 // [N*oh*ow, C*kh*kw]
+	return col2im(colGrad, n, c, h, wd, kh, kw) // scatter-add back
+}
+
+// Conv2DWeightGrad computes the gradient w.r.t. w given the stored input x
+// and gradOut — the δW computation of a conv layer.
+func Conv2DWeightGrad(x, gradOut *Tensor, kh, kw int) *Tensor {
+	_, c, _, _ := conv2dDims(x)
+	_, f, _, _ := conv2dDims(gradOut)
+	cols := im2col(x, kh, kw)     // [N*oh*ow, C*kh*kw]
+	rows := rowsFromNCHW(gradOut) // [N*oh*ow, F]
+	g := MatMul(Transpose(rows), cols)
+	return g.Reshape(f, c, kh, kw)
+}
+
+func conv2dDims(t *Tensor) (n, c, h, w int) {
+	if t.Dims() != 4 {
+		panic(fmt.Sprintf("tensor: want 4D NCHW, got %v", t.Shape))
+	}
+	return t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+}
+
+// im2col lowers x [N,C,H,W] into [N*OH*OW, C*KH*KW].
+func im2col(x *Tensor, kh, kw int) *Tensor {
+	n, c, h, w := conv2dDims(x)
+	oh, ow := h-kh+1, w-kw+1
+	out := New(n*oh*ow, c*kh*kw)
+	row := 0
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				col := 0
+				base := out.Shape[1] * row
+				for ch := 0; ch < c; ch++ {
+					for ky := 0; ky < kh; ky++ {
+						src := ((b*c+ch)*h+(oy+ky))*w + ox
+						copy(out.Data[base+col:base+col+kw], x.Data[src:src+kw])
+						col += kw
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out
+}
+
+// col2im scatter-adds [N*OH*OW, C*KH*KW] back to [N,C,H,W].
+func col2im(cols *Tensor, n, c, h, w, kh, kw int) *Tensor {
+	oh, ow := h-kh+1, w-kw+1
+	out := New(n, c, h, w)
+	row := 0
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				col := 0
+				base := cols.Shape[1] * row
+				for ch := 0; ch < c; ch++ {
+					for ky := 0; ky < kh; ky++ {
+						dst := ((b*c+ch)*h+(oy+ky))*w + ox
+						for kx := 0; kx < kw; kx++ {
+							out.Data[dst+kx] += cols.Data[base+col+kx]
+						}
+						col += kw
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out
+}
+
+// rowsFromNCHW flattens [N,F,OH,OW] to [N*OH*OW, F] (pixel-major rows).
+func rowsFromNCHW(t *Tensor) *Tensor {
+	n, f, oh, ow := conv2dDims(t)
+	out := New(n*oh*ow, f)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < f; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					row := (b*oh+oy)*ow + ox
+					out.Data[row*f+ch] = t.Data[((b*f+ch)*oh+oy)*ow+ox]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// nchwFromRows is the inverse of rowsFromNCHW.
+func nchwFromRows(rows *Tensor, n, f, oh, ow int) *Tensor {
+	out := New(n, f, oh, ow)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < f; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					row := (b*oh+oy)*ow + ox
+					out.Data[((b*f+ch)*oh+oy)*ow+ox] = rows.Data[row*f+ch]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2 performs 2×2 max pooling with stride 2 on x [N,C,H,W] (H, W even)
+// and returns the pooled tensor plus the argmax index map used by the
+// backward pass.
+func MaxPool2(x *Tensor) (*Tensor, []int) {
+	n, c, h, w := conv2dDims(x)
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("tensor: MaxPool2 needs even dims, got %dx%d", h, w))
+	}
+	oh, ow := h/2, w/2
+	out := New(n, c, oh, ow)
+	arg := make([]int, out.Len())
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestIdx := ((b*c+ch)*h+2*oy)*w + 2*ox
+					best := x.Data[bestIdx]
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							idx := ((b*c+ch)*h+(2*oy+dy))*w + (2*ox + dx)
+							if x.Data[idx] > best {
+								best, bestIdx = x.Data[idx], idx
+							}
+						}
+					}
+					o := ((b*c+ch)*oh+oy)*ow + ox
+					out.Data[o] = best
+					arg[o] = bestIdx
+				}
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPool2Grad routes gradOut back through the argmax map onto a tensor with
+// the original input shape.
+func MaxPool2Grad(gradOut *Tensor, arg []int, inShape []int) *Tensor {
+	out := New(inShape...)
+	for i, g := range gradOut.Data {
+		out.Data[arg[i]] += g
+	}
+	return out
+}

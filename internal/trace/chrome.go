@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one complete event ("ph":"X") in the Chrome trace format.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeJSON renders the trace in the Chrome trace-event format, loadable in
+// chrome://tracing or Perfetto. Each lane becomes a thread; span kinds become
+// categories.
+func (t *Trace) ChromeJSON() ([]byte, error) {
+	lanes := t.Lanes()
+	tid := make(map[string]int, len(lanes))
+	names := append([]string(nil), lanes...)
+	sort.Strings(names)
+	for i, l := range names {
+		tid[l] = i + 1
+	}
+	evs := make([]chromeEvent, 0, len(t.Spans)+len(lanes))
+	// Thread-name metadata so the viewer shows lane names.
+	for _, l := range names {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid[l],
+			Args: map[string]string{"name": l},
+		})
+	}
+	for _, s := range t.Spans {
+		evs = append(evs, chromeEvent{
+			Name: s.Label, Cat: s.Kind, Ph: "X",
+			TS:  float64(s.Start) / float64(time.Microsecond),
+			Dur: float64(s.Duration()) / float64(time.Microsecond),
+			PID: 1, TID: tid[s.Lane],
+		})
+	}
+	return json.Marshal(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{evs})
+}

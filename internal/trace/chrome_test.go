@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChromeJSON(t *testing.T) {
+	tr := &Trace{}
+	tr.Add("GPU0", "F1", "fwd", 0, 5*time.Microsecond)
+	tr.Add("GPU1", "O1", "dO", 5*time.Microsecond, 9*time.Microsecond)
+	raw, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 2 metadata events + 2 spans.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(doc.TraceEvents))
+	}
+	var spans, meta int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur <= 0 {
+				t.Fatalf("span %s has dur %v", e.Name, e.Dur)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if spans != 2 || meta != 2 {
+		t.Fatalf("spans=%d meta=%d", spans, meta)
+	}
+}
+
+func TestChromeJSONEmpty(t *testing.T) {
+	raw, err := (&Trace{}).ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	tr := &Trace{}
+	tr.Add("GPU0", "F1", "fwd", 0, 40*time.Microsecond)
+	tr.Add("GPU0", "W1", "dW", 40*time.Microsecond, 90*time.Microsecond)
+	tr.Add("GPU1", "O1", "dO", 20*time.Microsecond, 70*time.Microsecond)
+	out := tr.SVG(400)
+	var doc struct{}
+	if err := xml.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid XML: %v\n%s", err, out)
+	}
+	for _, want := range []string{"GPU0", "GPU1", "makespan", "<rect"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// Deterministic.
+	if tr.SVG(400) != out {
+		t.Fatal("SVG output not deterministic")
+	}
+}
+
+func TestSVGEmpty(t *testing.T) {
+	out := (&Trace{}).SVG(100)
+	if !strings.Contains(out, "empty trace") {
+		t.Fatalf("empty svg: %s", out)
+	}
+	var doc struct{}
+	if err := xml.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid XML: %v", err)
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	tr := &Trace{}
+	tr.Add("g<0>", `a&"b"`, "fwd", 0, time.Microsecond)
+	out := tr.SVG(100)
+	var doc struct{}
+	if err := xml.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("escaping broken: %v", err)
+	}
+}

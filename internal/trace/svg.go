@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// svgPalette maps span kinds to fill colours (the Fig 5/6/12 visual
+// conventions: forward light, δO medium, δW dark, communication hatched-ish).
+var svgPalette = map[string]string{
+	"fwd":    "#7eb6ff",
+	"dO":     "#2f6fd6",
+	"dW":     "#1b3f7a",
+	"comm":   "#e39a3b",
+	"issue":  "#b6b6b6",
+	"update": "#61b861",
+}
+
+const svgDefaultColor = "#999999"
+
+// SVG renders the trace as a self-contained SVG timeline: one row per lane,
+// time on the x axis, spans as rectangles coloured by kind and labelled when
+// wide enough. Deterministic output (lanes in first-appearance order, spans
+// in insertion order).
+func (t *Trace) SVG(width int) string {
+	if width <= 0 {
+		width = 900
+	}
+	const (
+		rowH    = 28
+		rowGap  = 6
+		leftPad = 90
+		topPad  = 24
+		fontPx  = 11
+	)
+	lanes := t.Lanes()
+	ms := t.Makespan()
+	height := topPad + len(lanes)*(rowH+rowGap) + 30
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="%d">`,
+		leftPad+width+20, height, fontPx)
+	b.WriteString("\n")
+	if ms == 0 || len(lanes) == 0 {
+		b.WriteString(`<text x="10" y="20">(empty trace)</text></svg>`)
+		return b.String()
+	}
+	laneY := map[string]int{}
+	for i, l := range lanes {
+		y := topPad + i*(rowH+rowGap)
+		laneY[l] = y
+		fmt.Fprintf(&b, `<text x="4" y="%d">%s</text>`+"\n", y+rowH/2+fontPx/2, xmlEscape(l))
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f4f4f4"/>`+"\n",
+			leftPad, y, width, rowH)
+	}
+	x := func(at time.Duration) float64 {
+		return float64(leftPad) + float64(at)/float64(ms)*float64(width)
+	}
+	for _, s := range t.Spans {
+		x0, x1 := x(s.Start), x(s.End)
+		w := x1 - x0
+		if w < 0.75 {
+			w = 0.75
+		}
+		color, ok := svgPalette[s.Kind]
+		if !ok {
+			color = svgDefaultColor
+		}
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s"><title>%s [%s] %v–%v</title></rect>`+"\n",
+			x0, laneY[s.Lane]+2, w, rowH-4, color,
+			xmlEscape(s.Label), xmlEscape(s.Kind), s.Start, s.End)
+		if w > float64(len(s.Label)*fontPx)*0.62 {
+			fmt.Fprintf(&b, `<text x="%.2f" y="%d" fill="#ffffff">%s</text>`+"\n",
+				x0+3, laneY[s.Lane]+rowH/2+fontPx/2-1, xmlEscape(s.Label))
+		}
+	}
+	// Legend: kinds present, sorted for determinism.
+	kinds := map[string]bool{}
+	for _, s := range t.Spans {
+		kinds[s.Kind] = true
+	}
+	var ks []string
+	for k := range kinds {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	lx := leftPad
+	ly := height - 18
+	for _, k := range ks {
+		color, ok := svgPalette[k]
+		if !ok {
+			color = svgDefaultColor
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/><text x="%d" y="%d">%s</text>`+"\n",
+			lx, ly, color, lx+14, ly+9, xmlEscape(k))
+		lx += 14 + (len(k)+2)*fontPx*62/100
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d">makespan %v</text>`+"\n", lx+10, ly+9, ms)
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,110 @@
+package train
+
+import (
+	"fmt"
+
+	"oooback/internal/graph"
+	"oooback/internal/nn"
+	"oooback/internal/tensor"
+)
+
+// Batch is one mini-batch of examples.
+type Batch struct {
+	X      *tensor.Tensor
+	Labels []int
+}
+
+// Batches splits a dataset of n examples (x's first dimension) into
+// mini-batches of the given size, in deterministic order with a deterministic
+// per-epoch shuffle derived from seed. The final short batch is kept.
+func Batches(x *tensor.Tensor, labels []int, batchSize int, seed uint64) []Batch {
+	n := x.Shape[0]
+	if len(labels) != n {
+		panic(fmt.Sprintf("train: %d labels for %d examples", len(labels), n))
+	}
+	if batchSize <= 0 {
+		panic("train: non-positive batch size")
+	}
+	per := x.Len() / n
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	rng := tensor.NewRNG(seed)
+	for i := n - 1; i > 0; i-- {
+		j := int(rng.Uint64() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	var out []Batch
+	for lo := 0; lo < n; lo += batchSize {
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		shape := append([]int{hi - lo}, x.Shape[1:]...)
+		bx := tensor.New(shape...)
+		bl := make([]int, hi-lo)
+		for i := lo; i < hi; i++ {
+			src := perm[i]
+			copy(bx.Data[(i-lo)*per:(i-lo+1)*per], x.Data[src*per:(src+1)*per])
+			bl[i-lo] = labels[src]
+		}
+		out = append(out, Batch{X: bx, Labels: bl})
+	}
+	return out
+}
+
+// FitConfig drives Fit.
+type FitConfig struct {
+	// Epochs over the dataset (≥ 1).
+	Epochs int
+	// BatchSize per step.
+	BatchSize int
+	// Schedule is the backward execution order (nil = conventional).
+	Schedule graph.BackwardSchedule
+	// LR, if non-nil, sets the optimizer's rate each step via SetLR.
+	LR nn.LRSchedule
+	// SetLR applies the scheduled rate to the optimizer (required with LR).
+	SetLR func(float64)
+	// Seed shuffles batches per epoch deterministically.
+	Seed uint64
+}
+
+// Fit trains the network and returns the mean loss of each epoch. It is the
+// high-level loop cmd/oootrain and the examples build on; everything is
+// deterministic, so two Fit calls with equal inputs produce identical
+// trajectories regardless of the backward schedule used.
+func Fit(n *Network, x *tensor.Tensor, labels []int, opt nn.Optimizer, cfg FitConfig) ([]float64, error) {
+	if cfg.Epochs < 1 {
+		cfg.Epochs = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = x.Shape[0]
+	}
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = graph.Conventional(len(n.Layers))
+	}
+	if cfg.LR != nil && cfg.SetLR == nil {
+		return nil, fmt.Errorf("train: LR schedule given without SetLR")
+	}
+	var epochLosses []float64
+	step := 0
+	for e := 0; e < cfg.Epochs; e++ {
+		var sum float64
+		batches := Batches(x, labels, cfg.BatchSize, cfg.Seed+uint64(e))
+		for _, b := range batches {
+			if cfg.LR != nil {
+				cfg.SetLR(cfg.LR(step))
+			}
+			loss, err := Step(n, b.X, b.Labels, sched, opt)
+			if err != nil {
+				return nil, err
+			}
+			sum += loss
+			step++
+		}
+		epochLosses = append(epochLosses, sum/float64(len(batches)))
+	}
+	return epochLosses, nil
+}

@@ -1,0 +1,93 @@
+package train
+
+import (
+	"testing"
+
+	"oooback/internal/core"
+	"oooback/internal/data"
+	"oooback/internal/graph"
+	"oooback/internal/nn"
+)
+
+func TestBatchesCoverEveryExampleOnce(t *testing.T) {
+	x, labels := data.Vectors(3, 17, 4, 3) // 17 examples, batch 5 → 5,5,5,2
+	bs := Batches(x, labels, 5, 9)
+	var total int
+	seen := map[float64]int{}
+	for _, b := range bs {
+		total += len(b.Labels)
+		for i := 0; i < b.X.Shape[0]; i++ {
+			seen[b.X.At(i, 0)]++
+		}
+	}
+	if total != 17 || len(bs) != 4 || len(bs[3].Labels) != 2 {
+		t.Fatalf("batches = %d, total = %d, last = %d", len(bs), total, len(bs[3].Labels))
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("example with x0=%v appears %d times", v, c)
+		}
+	}
+}
+
+func TestBatchesDeterministicShuffle(t *testing.T) {
+	x, labels := data.Vectors(3, 12, 4, 3)
+	a := Batches(x, labels, 4, 7)
+	b := Batches(x, labels, 4, 7)
+	c := Batches(x, labels, 4, 8)
+	for i := range a {
+		if a[i].Labels[0] != b[i].Labels[0] {
+			t.Fatal("same seed shuffled differently")
+		}
+	}
+	same := true
+	for i := range a {
+		for j := range a[i].Labels {
+			if a[i].Labels[j] != c[i].Labels[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical shuffles")
+	}
+}
+
+func TestFitConvergesAndPreservesSemantics(t *testing.T) {
+	x, labels := data.Vectors(41, 48, 8, 3)
+	run := func(s graph.BackwardSchedule) []float64 {
+		net := mlp(77, 8, 3)
+		opt := &nn.Momentum{Beta: 0.9}
+		losses, err := Fit(net, x, labels, opt, FitConfig{
+			Epochs: 6, BatchSize: 16, Schedule: s,
+			LR:    nn.WarmupLR(nn.CosineLR(0.08, 0.01, 18), 3),
+			SetLR: func(lr float64) { opt.LR = lr },
+			Seed:  5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return losses
+	}
+	conv := run(nil)
+	ooo := run(core.FastForward(5))
+	for i := range conv {
+		if conv[i] != ooo[i] {
+			t.Fatalf("epoch %d loss diverged: %v vs %v", i, conv[i], ooo[i])
+		}
+	}
+	if conv[len(conv)-1] >= conv[0] {
+		t.Fatalf("Fit did not converge: %v", conv)
+	}
+}
+
+func TestFitRejectsLRWithoutSetter(t *testing.T) {
+	x, labels := data.Vectors(1, 8, 8, 3)
+	net := mlp(1, 8, 3)
+	_, err := Fit(net, x, labels, &nn.SGD{LR: 0.1}, FitConfig{
+		Epochs: 1, BatchSize: 4, LR: nn.ConstantLR(0.1),
+	})
+	if err == nil {
+		t.Fatal("LR schedule without SetLR accepted")
+	}
+}

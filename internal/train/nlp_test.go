@@ -1,0 +1,168 @@
+package train
+
+import (
+	"testing"
+
+	"oooback/internal/core"
+	"oooback/internal/data"
+	"oooback/internal/graph"
+	"oooback/internal/nn"
+	"oooback/internal/tensor"
+)
+
+// tokenModel builds an NLP-shaped stack: embedding → layernorm → mean-pool
+// over the sequence → MLP head. Six layers with heterogeneous δW structure
+// (scatter-add, reductions, GEMMs) — a stronger semantics check than the
+// CNN/MLP ones.
+func tokenModel(seed uint64, vocab, dim, seqLen, classes int) *Network {
+	rng := tensor.NewRNG(seed)
+	return &Network{Layers: []nn.Layer{
+		nn.NewEmbedding("emb", vocab, dim, rng),
+		nn.NewLayerNorm("ln", dim, rng),
+		nn.NewMeanPool1D("pool", seqLen),
+		nn.NewDense("fc1", dim, 16, rng),
+		nn.NewReLU("relu"),
+		nn.NewDense("fc2", 16, classes, rng),
+	}}
+}
+
+// tokenBatch flattens token sequences into the [batch·seq] id tensor the
+// embedding consumes, with labels derived from token statistics so the task
+// is learnable.
+func tokenBatch(seed uint64, batch, seqLen, vocab, classes int) (*tensor.Tensor, []int) {
+	seqs := data.Tokens(seed, batch, seqLen, vocab)
+	x := tensor.New(batch * seqLen)
+	labels := make([]int, batch)
+	for i, s := range seqs {
+		sum := 0
+		for j, tok := range s {
+			x.Data[i*seqLen+j] = float64(tok)
+			sum += tok
+		}
+		labels[i] = sum % classes
+	}
+	return x, labels
+}
+
+func TestNLPSemanticsPreservation(t *testing.T) {
+	const (
+		vocab, dim, seqLen, classes = 50, 12, 8, 3
+		L                           = 6
+	)
+	net := tokenModel(21, vocab, dim, seqLen, classes)
+	x, labels := tokenBatch(33, 16, seqLen, vocab, classes)
+
+	run := func(s graph.BackwardSchedule) map[string]*tensor.Tensor {
+		net.ZeroGrads()
+		logits := net.Forward(x)
+		_, grad := nn.SoftmaxCrossEntropy(logits, labels)
+		if _, err := net.Backward(grad, s); err != nil {
+			t.Fatal(err)
+		}
+		return GradSnapshot(net)
+	}
+	ref := run(graph.Conventional(L))
+	if got := run(core.FastForward(L)); !SnapshotsEqual(ref, got) {
+		t.Fatal("fast-forward NLP gradients differ from conventional")
+	}
+	for _, k := range []int{2, 4, 6} {
+		if got := run(reverseKOrder(L, k)); !SnapshotsEqual(ref, got) {
+			t.Fatalf("reverse-first-%d NLP gradients differ", k)
+		}
+	}
+	// The embedding gradient must be sparse: only used token rows touched.
+	used := map[int]bool{}
+	for _, v := range x.Data {
+		used[int(v)] = true
+	}
+	embGrad := ref["emb.W"]
+	for row := 0; row < vocab; row++ {
+		var norm float64
+		for c := 0; c < dim; c++ {
+			norm += embGrad.At(row, c) * embGrad.At(row, c)
+		}
+		if !used[row] && norm != 0 {
+			t.Fatalf("unused token row %d has gradient", row)
+		}
+	}
+}
+
+func TestNLPTrainingConvergesIdentically(t *testing.T) {
+	const L = 6
+	x, labels := tokenBatch(44, 24, 8, 50, 3)
+	runTraining := func(s graph.BackwardSchedule) ([]float64, map[string]*tensor.Tensor) {
+		net := tokenModel(55, 50, 12, 8, 3)
+		opt := &nn.Adam{LR: 0.01}
+		var losses []float64
+		for it := 0; it < 12; it++ {
+			loss, err := Step(net, x, labels, s, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			losses = append(losses, loss)
+		}
+		return losses, ParamSnapshot(net)
+	}
+	convLoss, convW := runTraining(graph.Conventional(L))
+	oooLoss, oooW := runTraining(core.FastForward(L))
+	for i := range convLoss {
+		if convLoss[i] != oooLoss[i] {
+			t.Fatalf("NLP loss diverged at step %d", i)
+		}
+	}
+	if !SnapshotsEqual(convW, oooW) {
+		t.Fatal("NLP weights diverged")
+	}
+	if convLoss[len(convLoss)-1] >= convLoss[0] {
+		t.Fatalf("NLP training did not reduce loss: %v", convLoss)
+	}
+}
+
+// TestTransformerSemanticsPreservation runs the check on a mini-transformer
+// including self-attention — the layer family the paper's pipeline
+// experiments schedule at transformer granularity.
+func TestTransformerSemanticsPreservation(t *testing.T) {
+	const (
+		vocab, dim, seqLen, classes = 40, 8, 12, 3
+		L                           = 6
+	)
+	rng := tensor.NewRNG(61)
+	net := &Network{Layers: []nn.Layer{
+		nn.NewEmbedding("emb", vocab, dim, rng),
+		nn.NewLayerNorm("ln1", dim, rng),
+		nn.NewSelfAttention("attn", dim, rng),
+		nn.NewLayerNorm("ln2", dim, rng),
+		nn.NewMeanPool1D("pool", seqLen),
+		nn.NewDense("fc", dim, classes, rng),
+	}}
+	// One sequence per "sample": batch = number of pooled rows.
+	x, labels := tokenBatch(71, 4, seqLen, vocab, classes)
+
+	run := func(s graph.BackwardSchedule) map[string]*tensor.Tensor {
+		net.ZeroGrads()
+		logits := net.Forward(x)
+		_, grad := nn.SoftmaxCrossEntropy(logits, labels)
+		if _, err := net.Backward(grad, s); err != nil {
+			t.Fatal(err)
+		}
+		return GradSnapshot(net)
+	}
+	ref := run(graph.Conventional(L))
+	if got := run(core.FastForward(L)); !SnapshotsEqual(ref, got) {
+		t.Fatal("fast-forward transformer gradients differ")
+	}
+	if got := run(reverseKOrder(L, 4)); !SnapshotsEqual(ref, got) {
+		t.Fatal("reverse-first-4 transformer gradients differ")
+	}
+	// All three attention projections actually received gradient.
+	for _, name := range []string{"attn.Wq", "attn.Wk", "attn.Wv"} {
+		g := ref[name]
+		var norm float64
+		for _, v := range g.Data {
+			norm += v * v
+		}
+		if norm == 0 {
+			t.Fatalf("%s gradient is zero", name)
+		}
+	}
+}

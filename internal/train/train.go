@@ -1,0 +1,177 @@
+// Package train executes real (CPU) training steps under arbitrary backward
+// schedules and verifies the paper's semantics-preservation claim (§8:
+// "our optimizations do not change the semantics of neural network
+// training"). A Network is a layer stack from internal/nn; Backward walks any
+// legal graph.BackwardSchedule, so conventional backprop, reverse first-k,
+// gradient fast-forwarding and arbitrary list schedules can all be executed
+// on the same forward state and their gradients compared bit for bit.
+package train
+
+import (
+	"fmt"
+
+	"oooback/internal/graph"
+	"oooback/internal/nn"
+	"oooback/internal/tensor"
+)
+
+// Network is an ordered stack of layers.
+type Network struct {
+	Layers []nn.Layer
+}
+
+// Params collects all learnable parameters in layer order.
+func (n *Network) Params() []*nn.Param {
+	var out []*nn.Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrads clears every parameter gradient.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// Forward runs the stack and returns the logits.
+func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x
+	for _, l := range n.Layers {
+		out = l.Forward(out)
+	}
+	return out
+}
+
+// BackwardStats reports what a Backward walk did; used by tests and the
+// memory experiments.
+type BackwardStats struct {
+	// PeakLiveGrads is the maximum number of gradient tensors simultaneously
+	// retained (deferred δW force retention, §3).
+	PeakLiveGrads int
+}
+
+// Backward executes the backward pass in the given schedule order. lossGrad
+// is the gradient of the loss w.r.t. the network output (δO_{L+1}).
+// Gradient tensors are retained exactly until both of their consumers (δO
+// and δW of the layer) have run, mirroring the memory rule of
+// graph.MemoryProfile.
+func (n *Network) Backward(lossGrad *tensor.Tensor, sched graph.BackwardSchedule) (BackwardStats, error) {
+	L := len(n.Layers)
+	if err := sched.Validate(L); err != nil {
+		return BackwardStats{}, fmt.Errorf("train: %w", err)
+	}
+	grads := make([]*tensor.Tensor, L+1) // grads[i] = gradient into layer i (1-based)
+	grads[L] = lossGrad
+	doneDO := make([]bool, L+1)
+	doneDW := make([]bool, L+1)
+	live := 1
+	peak := 1
+	release := func(i int) {
+		if doneDO[i] && doneDW[i] && grads[i] != nil {
+			grads[i] = nil
+			live--
+		}
+	}
+	for _, op := range sched {
+		i := op.Layer
+		g := grads[i]
+		if g == nil {
+			return BackwardStats{}, fmt.Errorf("train: schedule op %v ran after its gradient was released", op)
+		}
+		switch op.Kind {
+		case graph.OutGrad:
+			gin := n.Layers[i-1].InputGrad(g)
+			doneDO[i] = true
+			if i > 1 {
+				grads[i-1] = gin
+				live++
+				if live > peak {
+					peak = live
+				}
+			}
+		case graph.WeightGrad:
+			n.Layers[i-1].WeightGrad(g)
+			doneDW[i] = true
+		}
+		release(i)
+	}
+	return BackwardStats{PeakLiveGrads: peak}, nil
+}
+
+// Step runs one full training step (forward, loss, backward in the given
+// order, optimizer update) and returns the loss.
+func Step(n *Network, x *tensor.Tensor, labels []int, sched graph.BackwardSchedule, opt nn.Optimizer) (float64, error) {
+	n.ZeroGrads()
+	logits := n.Forward(x)
+	loss, grad := nn.SoftmaxCrossEntropy(logits, labels)
+	if _, err := n.Backward(grad, sched); err != nil {
+		return 0, err
+	}
+	opt.Step(n.Params())
+	return loss, nil
+}
+
+// GradSnapshot deep-copies every parameter gradient, keyed by name.
+func GradSnapshot(n *Network) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor)
+	for _, p := range n.Params() {
+		out[p.Name] = p.Grad.Clone()
+	}
+	return out
+}
+
+// ParamSnapshot deep-copies every parameter value, keyed by name.
+func ParamSnapshot(n *Network) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor)
+	for _, p := range n.Params() {
+		out[p.Name] = p.Value.Clone()
+	}
+	return out
+}
+
+// RestoreParams writes a snapshot back into the network.
+func RestoreParams(n *Network, snap map[string]*tensor.Tensor) {
+	for _, p := range n.Params() {
+		src, ok := snap[p.Name]
+		if !ok {
+			panic(fmt.Sprintf("train: snapshot missing %q", p.Name))
+		}
+		copy(p.Value.Data, src.Data)
+	}
+}
+
+// SnapshotsEqual reports whether two snapshots are bit-for-bit identical.
+func SnapshotsEqual(a, b map[string]*tensor.Tensor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || !tensor.Equal(va, vb) {
+			return false
+		}
+	}
+	return true
+}
+
+// Accuracy evaluates classification accuracy of the network on a batch.
+func Accuracy(n *Network, x *tensor.Tensor, labels []int) float64 {
+	logits := n.Forward(x)
+	classes := logits.Shape[1]
+	correct := 0
+	for i, y := range labels {
+		best, bestV := 0, logits.At(i, 0)
+		for c := 1; c < classes; c++ {
+			if v := logits.At(i, c); v > bestV {
+				best, bestV = c, v
+			}
+		}
+		if best == y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
