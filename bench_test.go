@@ -131,6 +131,19 @@ func BenchmarkSimulateIteration(b *testing.B) {
 // Micro-benchmarks of the substrates.
 
 func BenchmarkSimEngine(b *testing.B) {
+	eng := sim.New()
+	for i := 0; i < b.N; i++ {
+		eng.Reset()
+		for j := 0; j < 1000; j++ {
+			eng.Schedule(sim.Time(j), func() {})
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkSimEngineFresh is the cold-start variant: a new engine per run
+// (the pre-Reset usage pattern), paying the arena growth each time.
+func BenchmarkSimEngineFresh(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		eng := sim.New()
 		for j := 0; j < 1000; j++ {
@@ -207,5 +220,55 @@ func BenchmarkPSSyncTime(b *testing.B) {
 	spec := netsim.Ethernet10G()
 	for i := 0; i < b.N; i++ {
 		sinkDuration = netsim.PSSyncTime(spec, 100<<20, 48, 4)
+	}
+}
+
+// Allocation-count assertions on the three hot paths. These pin the
+// perf contract of the pooled event heap and the scratch-buffer probes:
+// after warm-up, the steady state allocates nothing.
+
+// TestAllocsSimEngineWarm: Reset + 1000 Schedule + Run on a warm engine
+// recycles pooled slots and never touches the allocator.
+func TestAllocsSimEngineWarm(t *testing.T) {
+	eng := sim.New()
+	run := func() {
+		eng.Reset()
+		for j := 0; j < 1000; j++ {
+			eng.Schedule(sim.Time(j), func() {})
+		}
+		eng.Run()
+	}
+	run() // warm up: grow the arena once
+	if n := testing.AllocsPerRun(50, run); n != 0 {
+		t.Fatalf("warm engine run allocates %v times per run, want 0", n)
+	}
+}
+
+// TestAllocsSimulateIterationWarm: an IterScratch probe allocates nothing
+// once its buffers are sized (the SearchK / ablation-sweep inner loop).
+func TestAllocsSimulateIterationWarm(t *testing.T) {
+	m := models.ResNet(models.V100Profile(), 152, 64, models.ImageNet)
+	c := datapar.Costs(m, datapar.PubA(), 32, datapar.BytePS)
+	order := graph.Conventional(len(m.Layers))
+	prio := func(l int) int { return l }
+	var s core.IterScratch
+	s.SimulateIteration(c, order, prio, true)
+	if n := testing.AllocsPerRun(50, func() { s.SimulateIteration(c, order, prio, true) }); n != 0 {
+		t.Fatalf("warm SimulateIteration allocates %v times per run, want 0", n)
+	}
+}
+
+// TestAllocsSimulateIterationOverlappedWarm: the overlapped-update variant
+// shares the contract (it adds one more scratch buffer, adjDW).
+func TestAllocsSimulateIterationOverlappedWarm(t *testing.T) {
+	m := models.ResNet(models.V100Profile(), 152, 64, models.ImageNet)
+	c := datapar.Costs(m, datapar.PubA(), 32, datapar.BytePS)
+	order := graph.Conventional(len(m.Layers))
+	prio := func(l int) int { return l }
+	overlapped := func(layer int) bool { return layer%2 == 0 }
+	var s core.IterScratch
+	s.SimulateIterationOverlapped(c, order, prio, true, overlapped)
+	if n := testing.AllocsPerRun(50, func() { s.SimulateIterationOverlapped(c, order, prio, true, overlapped) }); n != 0 {
+		t.Fatalf("warm SimulateIterationOverlapped allocates %v times per run, want 0", n)
 	}
 }

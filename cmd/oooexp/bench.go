@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"oooback/internal/core"
+	"oooback/internal/datapar"
+	"oooback/internal/graph"
+	"oooback/internal/models"
+	"oooback/internal/sim"
+)
+
+// benchResult is one machine-readable micro-benchmark measurement.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchBaseline is the BENCH_BASELINE.json document.
+type benchBaseline struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// runBench runs the perf-critical micro-benchmarks through testing.Benchmark,
+// prints the JSON document to stdout, and (when outDir is set) also writes it
+// to outDir/BENCH_BASELINE.json. The benchmark bodies mirror the root
+// bench_test.go hot paths so the numbers are comparable with
+// `go test -bench -benchmem` runs.
+func runBench(outDir string) error {
+	doc := benchBaseline{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, bm := range benchList() {
+		r := testing.Benchmark(bm.fn)
+		doc.Benchmarks = append(doc.Benchmarks, benchResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "bench %-32s %12.0f ns/op %6d allocs/op\n",
+			bm.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	os.Stdout.Write(out)
+	if outDir != "" {
+		path := filepath.Join(outDir, "BENCH_BASELINE.json")
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// benchList mirrors the root bench_test.go micro-benchmarks of the three hot
+// paths (event engine, iteration probe, k search) plus their warm-reuse
+// variants introduced by the allocation-free rework.
+func benchList() []namedBench {
+	return []namedBench{
+		{"SimEngine", func(b *testing.B) {
+			eng := sim.New()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Reset()
+				for j := 0; j < 1000; j++ {
+					eng.Schedule(sim.Time(j), func() {})
+				}
+				eng.Run()
+			}
+		}},
+		{"SimEngineFresh", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := sim.New()
+				for j := 0; j < 1000; j++ {
+					eng.Schedule(sim.Time(j), func() {})
+				}
+				eng.Run()
+			}
+		}},
+		{"SimulateIteration", func(b *testing.B) {
+			m := models.ResNet(models.V100Profile(), 152, 64, models.ImageNet)
+			c := datapar.Costs(m, datapar.PubA(), 32, datapar.BytePS)
+			order := graph.Conventional(len(m.Layers))
+			prio := func(l int) int { return l }
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.SimulateIteration(c, order, prio, true)
+			}
+		}},
+		{"SimulateIterationWarmScratch", func(b *testing.B) {
+			m := models.ResNet(models.V100Profile(), 152, 64, models.ImageNet)
+			c := datapar.Costs(m, datapar.PubA(), 32, datapar.BytePS)
+			order := graph.Conventional(len(m.Layers))
+			prio := func(l int) int { return l }
+			var s core.IterScratch
+			s.SimulateIteration(c, order, prio, true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.SimulateIteration(c, order, prio, true)
+			}
+		}},
+		{"SearchK", func(b *testing.B) {
+			m := models.ResNet(models.V100Profile(), 50, 128, models.ImageNet)
+			c := datapar.Costs(m, datapar.PubA(), 16, datapar.BytePS)
+			prio := func(l int) int { return l }
+			L := len(m.Layers)
+			var s core.IterScratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.SearchK(L, func(k int) float64 {
+					r := s.SimulateIteration(c, core.ReverseFirstK(m, k, 0), prio, true)
+					return core.Throughput(r.Makespan, m.Batch)
+				})
+			}
+		}},
+		{"ReverseFirstK", func(b *testing.B) {
+			m := models.ResNet(models.V100Profile(), 101, 64, models.ImageNet)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.ReverseFirstK(m, 40, 16<<30)
+			}
+		}},
+	}
+}

@@ -3,11 +3,17 @@
 //
 // Usage:
 //
-//	oooexp list              list available experiment ids
-//	oooexp all               run every experiment
-//	oooexp <id> [...]        run specific experiments (fig1 … fig13b,
-//	                         mem-single, disc-datapar, semantics, …)
-//	oooexp -o DIR all        additionally write each report to DIR/<id>.txt
+//	oooexp list                    list available experiment ids
+//	oooexp all                     run every experiment
+//	oooexp <id> [...]              run specific experiments (fig1 … fig13b,
+//	                               mem-single, disc-datapar, semantics, …)
+//	oooexp -o DIR all              additionally write each report to DIR/<id>.txt
+//	oooexp -parallel N all         fan the experiments over N goroutines; the
+//	                               output (and any -o files) is byte-identical
+//	                               to the serial run
+//	oooexp bench                   run the perf micro-benchmarks and emit
+//	                               machine-readable JSON (ns/op, allocs/op);
+//	                               with -o DIR, also write DIR/BENCH_BASELINE.json
 package main
 
 import (
@@ -17,16 +23,21 @@ import (
 	"path/filepath"
 
 	"oooback/internal/experiments"
+	"oooback/internal/parexec"
 )
 
 func main() {
 	outDir := flag.String("o", "", "also write each report to this directory as <id>.txt")
-	parallel := flag.Int("parallel", 1, "run 'all' on this many goroutines (identical output, deterministic)")
+	parallel := flag.Int("parallel", 1, "run experiments on this many goroutines (0 = GOMAXPROCS; identical output, deterministic)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = parexec.Default()
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -34,47 +45,61 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	run := func(e experiments.Experiment) {
-		report := e.Run()
-		fmt.Printf("==== %s: %s ====\n%s\n", e.ID, e.Title, report)
-		if *outDir != "" {
-			path := filepath.Join(*outDir, e.ID+".txt")
-			if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "oooexp: %v\n", err)
-				os.Exit(1)
-			}
-		}
-	}
+
 	switch args[0] {
 	case "list":
 		for _, id := range experiments.IDs() {
 			e, _ := experiments.Get(id)
 			fmt.Printf("%-18s %s\n", e.ID, e.Title)
 		}
+	case "bench":
+		if err := runBench(*outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "oooexp: %v\n", err)
+			os.Exit(1)
+		}
 	case "all":
-		if *parallel > 1 && *outDir == "" {
-			fmt.Print(experiments.RunAllParallel(*parallel))
-			return
-		}
-		for _, id := range experiments.IDs() {
-			e, _ := experiments.Get(id)
-			run(e)
-		}
+		runIDs(experiments.IDs(), workers, *outDir)
 	default:
+		ids := args
 		status := 0
-		for _, id := range args {
-			e, ok := experiments.Get(id)
-			if !ok {
+		valid := ids[:0:0]
+		for _, id := range ids {
+			if _, ok := experiments.Get(id); !ok {
 				fmt.Fprintf(os.Stderr, "oooexp: unknown experiment %q (try 'oooexp list')\n", id)
 				status = 1
 				continue
 			}
-			run(e)
+			valid = append(valid, id)
 		}
+		runIDs(valid, workers, *outDir)
 		os.Exit(status)
 	}
 }
 
+// runIDs evaluates the experiments (in parallel when workers > 1 — the
+// reports come back in submission order, so stdout and the -o files are
+// byte-identical to a serial run), prints each report, and writes the
+// per-experiment files when outDir is set. Any write failure exits non-zero
+// after all reports printed.
+func runIDs(ids []string, workers int, outDir string) {
+	reports := experiments.RunNamedParallel(ids, workers)
+	writeFailed := false
+	for i, id := range ids {
+		e, _ := experiments.Get(id)
+		fmt.Printf("==== %s: %s ====\n%s\n", e.ID, e.Title, reports[i])
+		if outDir != "" {
+			path := filepath.Join(outDir, id+".txt")
+			if err := os.WriteFile(path, []byte(reports[i]), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "oooexp: %v\n", err)
+				writeFailed = true
+			}
+		}
+	}
+	if writeFailed {
+		os.Exit(1)
+	}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: oooexp [-o dir] list | all | <experiment-id>...")
+	fmt.Fprintln(os.Stderr, "usage: oooexp [-o dir] [-parallel n] list | all | bench | <experiment-id>...")
 }

@@ -63,6 +63,30 @@ type IterResult struct {
 	GPUIdle time.Duration
 }
 
+// IterScratch holds the reusable working buffers of the analytic iteration
+// simulator. Repeated probes through the same scratch (SearchK sweeps, the
+// ablation grids, cross-validation) perform no heap allocation once the
+// buffers reach the model's high-water mark.
+//
+// A scratch is not safe for concurrent use; give each goroutine its own.
+// The SyncDone slice of a result produced through a scratch aliases the
+// scratch's buffer and is only valid until the next simulation through it —
+// callers that retain results across probes must copy it (the package-level
+// SimulateIteration wrappers use a fresh scratch per call and stay safe to
+// retain).
+type IterScratch struct {
+	dwDone []time.Duration
+	done   []time.Duration
+	segs   []commSegment
+	tasks  []commTask
+	heap   []int32
+	adjDW  []time.Duration
+	state  []uint8 // schedule-validation flags, one byte per layer
+}
+
+// zeroPrio is the default priority function (all syncs equal, FIFO).
+func zeroPrio(int) int { return 0 }
+
 // SimulateIteration executes one training iteration analytically.
 //
 // The GPU is a serial resource running the backward ops in the given order
@@ -73,28 +97,46 @@ type IterResult struct {
 // set, an in-flight sync is preempted by a more urgent one at chunk
 // granularity (the BytePS/ByteScheduler behaviour); otherwise the channel is
 // run-to-completion (plain wait-free backpropagation).
+//
+// prio must be a pure function of the layer; it is consulted once per layer.
 func SimulateIteration(c IterCosts, order graph.BackwardSchedule, prio func(layer int) int, preemptive bool) IterResult {
-	return SimulateIterationTraced(c, order, prio, preemptive, nil)
+	var s IterScratch
+	return s.SimulateIterationTraced(c, order, prio, preemptive, nil)
 }
 
 // SimulateIterationTraced is SimulateIteration with span recording: GPU ops
 // land on lane "GPU", communication chunks on lane "NET" (the Fig 4 layout).
 // tr may be nil.
 func SimulateIterationTraced(c IterCosts, order graph.BackwardSchedule, prio func(layer int) int, preemptive bool, tr *trace.Trace) IterResult {
+	var s IterScratch
+	return s.SimulateIterationTraced(c, order, prio, preemptive, tr)
+}
+
+// SimulateIteration is the allocation-free variant of the package-level
+// SimulateIteration: all working state lives in the scratch.
+func (s *IterScratch) SimulateIteration(c IterCosts, order graph.BackwardSchedule, prio func(layer int) int, preemptive bool) IterResult {
+	return s.SimulateIterationTraced(c, order, prio, preemptive, nil)
+}
+
+// SimulateIterationTraced is the scratch-backed simulator core. tr may be
+// nil; span recording allocates (it builds labels), so traced runs are not
+// allocation-free.
+func (s *IterScratch) SimulateIterationTraced(c IterCosts, order graph.BackwardSchedule, prio func(layer int) int, preemptive bool, tr *trace.Trace) IterResult {
 	if err := c.validate(); err != nil {
 		panic(err)
 	}
 	L := c.Layers()
-	if err := order.Validate(L); err != nil {
+	if err := s.validateOrder(order, L); err != nil {
 		panic(err)
 	}
 	if prio == nil {
-		prio = func(int) int { return 0 }
+		prio = zeroPrio
 	}
 
 	// Backward pass: serial compute.
 	var t time.Duration
-	dwDone := make([]time.Duration, L+1)
+	s.dwDone = resizeDur(s.dwDone, L+1)
+	dwDone := s.dwDone
 	for _, op := range order {
 		start := t
 		switch op.Kind {
@@ -114,10 +156,10 @@ func SimulateIterationTraced(c IterCosts, order graph.BackwardSchedule, prio fun
 	}
 	backwardEnd := t
 
-	syncDone, segs := commTimeline(c, dwDone, prio, preemptive)
+	syncDone, segs := s.commTimeline(c, dwDone, prio, preemptive)
 	if tr != nil {
-		for _, s := range segs {
-			tr.Add("NET", fmt.Sprintf("S[dW]%d", s.layer), "comm", s.start, s.end)
+		for _, sg := range segs {
+			tr.Add("NET", fmt.Sprintf("S[dW]%d", sg.layer), "comm", sg.start, sg.end)
 		}
 	}
 
@@ -138,73 +180,229 @@ func SimulateIterationTraced(c IterCosts, order graph.BackwardSchedule, prio fun
 	return IterResult{Makespan: t, BackwardEnd: backwardEnd, SyncDone: syncDone[1:], GPUIdle: idle}
 }
 
+// validateOrder mirrors graph.BackwardSchedule.Validate but keeps its
+// working set in the scratch so valid schedules validate without allocating.
+func (s *IterScratch) validateOrder(order graph.BackwardSchedule, L int) error {
+	if len(order) != 2*L {
+		return fmt.Errorf("core: schedule has %d ops, want %d", len(order), 2*L)
+	}
+	const (
+		flagDoneDO = 1 << iota // δO_i executed (gradient g_{i-1} exists)
+		flagSeenDO
+		flagSeenDW
+	)
+	if cap(s.state) < L+2 {
+		s.state = make([]uint8, L+2)
+	} else {
+		s.state = s.state[:L+2]
+		clear(s.state)
+	}
+	st := s.state
+	st[L+1] = flagDoneDO // loss gradient
+	for pos, op := range order {
+		if op.Layer < 1 || op.Layer > L {
+			return fmt.Errorf("core: op %v at %d: layer out of range 1..%d", op, pos, L)
+		}
+		var flag uint8
+		switch op.Kind {
+		case graph.OutGrad:
+			flag = flagSeenDO
+		case graph.WeightGrad:
+			flag = flagSeenDW
+		default:
+			return fmt.Errorf("core: op %v at %d: backward schedules hold only dO/dW", op, pos)
+		}
+		if st[op.Layer]&flag != 0 {
+			return fmt.Errorf("core: op %v duplicated at %d", op, pos)
+		}
+		st[op.Layer] |= flag
+		if st[op.Layer+1]&flagDoneDO == 0 {
+			return fmt.Errorf("core: op %v at %d runs before dO%d", op, pos, op.Layer+1)
+		}
+		if op.Kind == graph.OutGrad {
+			st[op.Layer] |= flagDoneDO
+		}
+	}
+	return nil
+}
+
+// resizeDur returns buf with length n and all elements zero, reusing its
+// capacity when possible.
+func resizeDur(buf []time.Duration, n int) []time.Duration {
+	if cap(buf) < n {
+		return make([]time.Duration, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
 // commSegment is one contiguous service interval of a sync on the channel.
 type commSegment struct {
 	layer      int
 	start, end time.Duration
 }
 
+// commTask is one pending synchronization on the channel. prio is cached at
+// task creation (one call per layer).
+type commTask struct {
+	layer     int
+	prio      int
+	ready     time.Duration
+	remaining time.Duration
+}
+
 // commTimeline computes when each layer's synchronization completes on a
 // single channel with the given discipline, plus the service segments.
-func commTimeline(c IterCosts, ready []time.Duration, prio func(int) int, preemptive bool) ([]time.Duration, []commSegment) {
+//
+// The channel is simulated with two queues: the arrival queue (tasks sorted
+// by ready time) and a binary heap of available tasks keyed on
+// (prio, ready, layer) — exactly the selection rule of the naive reference
+// (commTimelineNaive), but O(L log L) instead of O(L²). The returned slices
+// belong to the scratch.
+func (s *IterScratch) commTimeline(c IterCosts, ready []time.Duration, prio func(int) int, preemptive bool) ([]time.Duration, []commSegment) {
 	L := c.Layers()
-	type task struct {
-		layer     int
-		ready     time.Duration
-		remaining time.Duration
-	}
-	var tasks []*task
+	s.done = resizeDur(s.done, L+1) // zero = no sync needed
+	s.tasks = s.tasks[:0]
 	for i := 1; i <= L; i++ {
 		if c.SyncW[i-1] > 0 {
-			tasks = append(tasks, &task{layer: i, ready: ready[i], remaining: c.SyncW[i-1]})
+			s.tasks = append(s.tasks, commTask{layer: i, prio: prio(i), ready: ready[i], remaining: c.SyncW[i-1]})
 		}
 	}
-	done := make([]time.Duration, L+1) // zero = no sync needed
-	var segs []commSegment
+	sortTasksByArrival(s.tasks)
+	s.heap = s.heap[:0]
+	s.segs = s.segs[:0]
+
 	var now time.Duration
-	pendingCount := len(tasks)
-	for pendingCount > 0 {
-		// Next arrival after now, and the best ready task at now.
-		var best *task
-		nextArrival := time.Duration(-1)
-		for _, tk := range tasks {
-			if tk.remaining <= 0 {
-				continue
-			}
-			if tk.ready > now {
-				if nextArrival < 0 || tk.ready < nextArrival {
-					nextArrival = tk.ready
+	ai := 0 // next not-yet-arrived task index
+	npend := len(s.tasks)
+	for npend > 0 {
+		for ai < len(s.tasks) && s.tasks[ai].ready <= now {
+			s.pushTask(int32(ai))
+			ai++
+		}
+		if len(s.heap) == 0 {
+			now = s.tasks[ai].ready
+			continue
+		}
+		bi := s.popTask()
+		best := &s.tasks[bi]
+		if preemptive && ai < len(s.tasks) {
+			if na := s.tasks[ai].ready; na < now+best.remaining {
+				// Serve until the next arrival, then re-evaluate priorities.
+				best.remaining -= na - now
+				s.segs = append(s.segs, commSegment{best.layer, now, na})
+				now = na
+				if best.remaining > 0 {
+					s.pushTask(bi)
+				} else {
+					s.done[best.layer] = now + c.lag(best.layer)
+					npend--
 				}
 				continue
 			}
-			if best == nil || prio(tk.layer) < prio(best.layer) ||
-				(prio(tk.layer) == prio(best.layer) && tk.ready < best.ready) {
-				best = tk
-			}
 		}
-		if best == nil {
-			now = nextArrival
-			continue
-		}
-		if preemptive && nextArrival >= 0 && nextArrival < now+best.remaining {
-			// Serve until the next arrival, then re-evaluate priorities.
-			served := nextArrival - now
-			best.remaining -= served
-			segs = append(segs, commSegment{best.layer, now, nextArrival})
-			now = nextArrival
-			if best.remaining <= 0 {
-				done[best.layer] = now + c.lag(best.layer)
-				pendingCount--
-			}
-			continue
-		}
-		segs = append(segs, commSegment{best.layer, now, now + best.remaining})
+		s.segs = append(s.segs, commSegment{best.layer, now, now + best.remaining})
 		now += best.remaining
 		best.remaining = 0
-		done[best.layer] = now + c.lag(best.layer)
-		pendingCount--
+		s.done[best.layer] = now + c.lag(best.layer)
+		npend--
 	}
-	return done, segs
+	return s.done, s.segs
+}
+
+// taskLess orders the available-task heap by (prio, ready, layer): most
+// urgent priority first, FIFO by ready time within a priority, and layer
+// index as the final tie-break (the naive reference scans layers in
+// ascending order with a strict-less comparison, which resolves full ties
+// the same way).
+func (s *IterScratch) taskLess(a, b int32) bool {
+	ta, tb := &s.tasks[a], &s.tasks[b]
+	if ta.prio != tb.prio {
+		return ta.prio < tb.prio
+	}
+	if ta.ready != tb.ready {
+		return ta.ready < tb.ready
+	}
+	return ta.layer < tb.layer
+}
+
+func (s *IterScratch) pushTask(id int32) {
+	s.heap = append(s.heap, id)
+	h := s.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.taskLess(id, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = id
+}
+
+func (s *IterScratch) popTask() int32 {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	s.heap = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			child := 2*i + 1
+			if child >= n {
+				break
+			}
+			if r := child + 1; r < n && s.taskLess(h[r], h[child]) {
+				child = r
+			}
+			if !s.taskLess(h[child], last) {
+				break
+			}
+			h[i] = h[child]
+			i = child
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// sortTasksByArrival heap-sorts tasks ascending by (ready, layer). Layer
+// indices are unique, so the order is total and stability is irrelevant.
+func sortTasksByArrival(ts []commTask) {
+	after := func(a, b commTask) bool { // max-heap comparator
+		if a.ready != b.ready {
+			return a.ready > b.ready
+		}
+		return a.layer > b.layer
+	}
+	n := len(ts)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownTasks(ts, i, n, after)
+	}
+	for end := n - 1; end > 0; end-- {
+		ts[0], ts[end] = ts[end], ts[0]
+		siftDownTasks(ts, 0, end, after)
+	}
+}
+
+func siftDownTasks(ts []commTask, i, n int, after func(a, b commTask) bool) {
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && after(ts[r], ts[child]) {
+			child = r
+		}
+		if !after(ts[child], ts[i]) {
+			return
+		}
+		ts[i], ts[child] = ts[child], ts[i]
+		i = child
+	}
 }
 
 // Throughput converts an iteration makespan and global batch size to
@@ -226,20 +424,29 @@ func Throughput(makespan time.Duration, globalBatch int) float64 {
 // places the critical first-k δW there.
 func SimulateIterationOverlapped(c IterCosts, order graph.BackwardSchedule,
 	prio func(layer int) int, preemptive bool, overlapped func(layer int) bool) IterResult {
+	var s IterScratch
+	return s.SimulateIterationOverlapped(c, order, prio, preemptive, overlapped)
+}
+
+// SimulateIterationOverlapped is the allocation-free variant of the
+// package-level SimulateIterationOverlapped.
+func (s *IterScratch) SimulateIterationOverlapped(c IterCosts, order graph.BackwardSchedule,
+	prio func(layer int) int, preemptive bool, overlapped func(layer int) bool) IterResult {
 	if overlapped == nil {
-		return SimulateIteration(c, order, prio, preemptive)
+		return s.SimulateIteration(c, order, prio, preemptive)
+	}
+	s.adjDW = resizeDur(s.adjDW, len(c.DW))
+	for i := range c.DW {
+		if !overlapped(i + 1) {
+			s.adjDW[i] = c.DW[i]
+		}
 	}
 	adj := IterCosts{
 		F:       c.F,
 		DO:      c.DO,
-		DW:      make([]time.Duration, len(c.DW)),
+		DW:      s.adjDW,
 		SyncW:   c.SyncW,
 		SyncLag: c.SyncLag,
 	}
-	for i := range c.DW {
-		if !overlapped(i + 1) {
-			adj.DW[i] = c.DW[i]
-		}
-	}
-	return SimulateIteration(adj, order, prio, preemptive)
+	return s.SimulateIteration(adj, order, prio, preemptive)
 }

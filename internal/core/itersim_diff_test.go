@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"oooback/internal/graph"
+)
+
+// randomIterCosts builds a randomized cost vector: a mix of zero and nonzero
+// syncs, clustered ready times (to exercise ties), occasional aggregation
+// lag, and random priorities.
+func randomIterCosts(rng *rand.Rand, L int) (IterCosts, func(int) int) {
+	c := IterCosts{
+		F:     make([]time.Duration, L),
+		DO:    make([]time.Duration, L),
+		DW:    make([]time.Duration, L),
+		SyncW: make([]time.Duration, L),
+	}
+	if rng.Intn(2) == 0 {
+		c.SyncLag = make([]time.Duration, L)
+	}
+	for i := 0; i < L; i++ {
+		c.F[i] = time.Duration(rng.Intn(20)) * time.Microsecond
+		// Zero δO/δW are allowed and produce equal ready times across layers.
+		c.DO[i] = time.Duration(rng.Intn(8)) * time.Microsecond
+		c.DW[i] = time.Duration(rng.Intn(8)) * time.Microsecond
+		if rng.Intn(4) > 0 { // 25% of layers skip synchronization
+			c.SyncW[i] = time.Duration(1+rng.Intn(30)) * time.Microsecond
+		}
+		if c.SyncLag != nil {
+			c.SyncLag[i] = time.Duration(rng.Intn(40)) * time.Microsecond
+		}
+	}
+	// Few distinct priority classes so ties are common; fixed per layer.
+	prios := make([]int, L+1)
+	nclass := 1 + rng.Intn(4)
+	for i := 1; i <= L; i++ {
+		prios[i] = rng.Intn(nclass)
+	}
+	return c, func(layer int) int { return prios[layer] }
+}
+
+// randomBackwardOrder produces a random legal backward schedule: δO_L..δO_1
+// interleaved with each δW_i placed uniformly anywhere after δO_{i+1}.
+func randomBackwardOrder(rng *rand.Rand, L int) graph.BackwardSchedule {
+	s := make(graph.BackwardSchedule, 0, 2*L)
+	pendingDW := []int{L} // δW_L is legal immediately (loss gradient exists)
+	for i := L; i >= 1; i-- {
+		// Emit a random subset of currently-legal δW before the next δO.
+		for len(pendingDW) > 0 && rng.Intn(2) == 0 {
+			j := rng.Intn(len(pendingDW))
+			s = append(s, graph.Op{Kind: graph.WeightGrad, Layer: pendingDW[j]})
+			pendingDW = append(pendingDW[:j], pendingDW[j+1:]...)
+		}
+		s = append(s, graph.Op{Kind: graph.OutGrad, Layer: i})
+		if i > 1 {
+			pendingDW = append(pendingDW, i-1)
+		}
+	}
+	// Shuffle the leftovers, then flush them.
+	rng.Shuffle(len(pendingDW), func(a, b int) { pendingDW[a], pendingDW[b] = pendingDW[b], pendingDW[a] })
+	for _, j := range pendingDW {
+		s = append(s, graph.Op{Kind: graph.WeightGrad, Layer: j})
+	}
+	return s
+}
+
+// TestCommTimelineMatchesNaiveReference is the differential test of the
+// O(L log L) channel against the retained O(L²) reference: identical
+// completion times and identical service segments over randomized costs,
+// priorities, ready times, and both channel disciplines.
+func TestCommTimelineMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var scratch IterScratch
+	for trial := 0; trial < 500; trial++ {
+		L := 1 + rng.Intn(60)
+		c, prio := randomIterCosts(rng, L)
+		ready := make([]time.Duration, L+1)
+		for i := 1; i <= L; i++ {
+			// Clustered ready times: many exact collisions.
+			ready[i] = time.Duration(rng.Intn(10)) * 5 * time.Microsecond
+		}
+		preemptive := trial%2 == 0
+
+		wantDone, wantSegs := commTimelineNaive(c, ready, prio, preemptive)
+		gotDone, gotSegs := scratch.commTimeline(c, ready, prio, preemptive)
+
+		if len(gotDone) != len(wantDone) {
+			t.Fatalf("trial %d: done length %d vs %d", trial, len(gotDone), len(wantDone))
+		}
+		for i := range wantDone {
+			if gotDone[i] != wantDone[i] {
+				t.Fatalf("trial %d (L=%d preemptive=%v): SyncDone[%d] = %v, reference %v",
+					trial, L, preemptive, i, gotDone[i], wantDone[i])
+			}
+		}
+		if len(gotSegs) != len(wantSegs) {
+			t.Fatalf("trial %d (L=%d preemptive=%v): %d segments, reference %d\n got: %v\nwant: %v",
+				trial, L, preemptive, len(gotSegs), len(wantSegs), gotSegs, wantSegs)
+		}
+		for i := range wantSegs {
+			if gotSegs[i] != wantSegs[i] {
+				t.Fatalf("trial %d (L=%d preemptive=%v): segment %d = %+v, reference %+v",
+					trial, L, preemptive, i, gotSegs[i], wantSegs[i])
+			}
+		}
+	}
+}
+
+// TestSimulateIterationScratchMatchesFresh checks the full iteration
+// simulator end to end: a reused scratch must produce the same makespan,
+// idle time, and sync completions as fresh package-level calls, over random
+// legal backward orders (which also exercises the scratch-based schedule
+// validation), and the idle time must agree with one recomputed from the
+// naive channel.
+func TestSimulateIterationScratchMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var scratch IterScratch
+	for trial := 0; trial < 300; trial++ {
+		L := 1 + rng.Intn(40)
+		c, prio := randomIterCosts(rng, L)
+		order := randomBackwardOrder(rng, L)
+		preemptive := trial%2 == 1
+
+		want := SimulateIteration(c, order, prio, preemptive)
+		got := scratch.SimulateIteration(c, order, prio, preemptive)
+
+		if got.Makespan != want.Makespan || got.BackwardEnd != want.BackwardEnd || got.GPUIdle != want.GPUIdle {
+			t.Fatalf("trial %d: scratch result {%v %v %v} != fresh {%v %v %v}",
+				trial, got.Makespan, got.BackwardEnd, got.GPUIdle,
+				want.Makespan, want.BackwardEnd, want.GPUIdle)
+		}
+		for i := range want.SyncDone {
+			if got.SyncDone[i] != want.SyncDone[i] {
+				t.Fatalf("trial %d: SyncDone[%d] = %v, want %v", trial, i, got.SyncDone[i], want.SyncDone[i])
+			}
+		}
+
+		// Recompute idle from the naive channel independently.
+		dwDone := make([]time.Duration, L+1)
+		var bt time.Duration
+		for _, op := range order {
+			switch op.Kind {
+			case graph.OutGrad:
+				bt += c.DO[op.Layer-1]
+			case graph.WeightGrad:
+				bt += c.DW[op.Layer-1]
+				dwDone[op.Layer] = bt
+			}
+		}
+		done, _ := commTimelineNaive(c, dwDone, prio, preemptive)
+		var idle time.Duration
+		ft := bt
+		for i := 1; i <= L; i++ {
+			if done[i] > ft {
+				idle += done[i] - ft
+				ft = done[i]
+			}
+			ft += c.F[i-1]
+		}
+		if got.GPUIdle != idle {
+			t.Fatalf("trial %d: GPUIdle = %v, naive recomputation %v", trial, got.GPUIdle, idle)
+		}
+	}
+}
+
+// TestScratchValidationAgreesWithGraph cross-checks the scratch-based
+// schedule validator against graph.BackwardSchedule.Validate on random op
+// soups (mostly illegal): both must accept/reject identically.
+func TestScratchValidationAgreesWithGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var scratch IterScratch
+	for trial := 0; trial < 2000; trial++ {
+		L := 1 + rng.Intn(6)
+		var s graph.BackwardSchedule
+		if trial%3 == 0 {
+			s = randomBackwardOrder(rng, L) // legal
+		} else {
+			n := 2 * L
+			if trial%5 == 0 {
+				n = rng.Intn(3 * L) // wrong length sometimes
+			}
+			s = make(graph.BackwardSchedule, n)
+			for i := range s {
+				s[i] = graph.Op{Kind: graph.OpKind(rng.Intn(3)), Layer: rng.Intn(L+2) - 1 + 1}
+			}
+		}
+		wantErr := s.Validate(L) != nil
+		gotErr := scratch.validateOrder(s, L) != nil
+		if wantErr != gotErr {
+			t.Fatalf("trial %d: scratch validation err=%v, graph.Validate err=%v for %v (L=%d)",
+				trial, gotErr, wantErr, s, L)
+		}
+	}
+}
+
+// TestSimulateIterationWarmScratchAllocsZero locks in the tentpole: a warm
+// SimulateIteration probe through a scratch performs zero heap allocations.
+func TestSimulateIterationWarmScratchAllocsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	L := 80
+	c, prio := randomIterCosts(rng, L)
+	order := graph.Conventional(L)
+	var s IterScratch
+	s.SimulateIteration(c, order, prio, true) // warm-up
+	for _, preemptive := range []bool{true, false} {
+		preemptive := preemptive
+		avg := testing.AllocsPerRun(200, func() {
+			s.SimulateIteration(c, order, prio, preemptive)
+		})
+		if avg != 0 {
+			t.Fatalf("warm SimulateIteration (preemptive=%v) allocated %.1f per run, want 0", preemptive, avg)
+		}
+	}
+	// The overlapped variant must be allocation-free too.
+	overlapped := func(layer int) bool { return layer%2 == 0 }
+	s.SimulateIterationOverlapped(c, order, prio, true, overlapped)
+	avg := testing.AllocsPerRun(200, func() {
+		s.SimulateIterationOverlapped(c, order, prio, true, overlapped)
+	})
+	if avg != 0 {
+		t.Fatalf("warm SimulateIterationOverlapped allocated %.1f per run, want 0", avg)
+	}
+}

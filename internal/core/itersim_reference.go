@@ -1,0 +1,69 @@
+package core
+
+import "time"
+
+// commTimelineNaive is the executable specification of the communication
+// channel: the original O(L²) selection scan, retained verbatim so the
+// optimized heap-based IterScratch.commTimeline can be differentially tested
+// against it (TestCommTimelineMatchesNaiveReference). Do not optimize this
+// function — its value is being obviously correct.
+func commTimelineNaive(c IterCosts, ready []time.Duration, prio func(int) int, preemptive bool) ([]time.Duration, []commSegment) {
+	L := c.Layers()
+	type task struct {
+		layer     int
+		ready     time.Duration
+		remaining time.Duration
+	}
+	var tasks []*task
+	for i := 1; i <= L; i++ {
+		if c.SyncW[i-1] > 0 {
+			tasks = append(tasks, &task{layer: i, ready: ready[i], remaining: c.SyncW[i-1]})
+		}
+	}
+	done := make([]time.Duration, L+1) // zero = no sync needed
+	var segs []commSegment
+	var now time.Duration
+	pendingCount := len(tasks)
+	for pendingCount > 0 {
+		// Next arrival after now, and the best ready task at now.
+		var best *task
+		nextArrival := time.Duration(-1)
+		for _, tk := range tasks {
+			if tk.remaining <= 0 {
+				continue
+			}
+			if tk.ready > now {
+				if nextArrival < 0 || tk.ready < nextArrival {
+					nextArrival = tk.ready
+				}
+				continue
+			}
+			if best == nil || prio(tk.layer) < prio(best.layer) ||
+				(prio(tk.layer) == prio(best.layer) && tk.ready < best.ready) {
+				best = tk
+			}
+		}
+		if best == nil {
+			now = nextArrival
+			continue
+		}
+		if preemptive && nextArrival >= 0 && nextArrival < now+best.remaining {
+			// Serve until the next arrival, then re-evaluate priorities.
+			served := nextArrival - now
+			best.remaining -= served
+			segs = append(segs, commSegment{best.layer, now, nextArrival})
+			now = nextArrival
+			if best.remaining <= 0 {
+				done[best.layer] = now + c.lag(best.layer)
+				pendingCount--
+			}
+			continue
+		}
+		segs = append(segs, commSegment{best.layer, now, now + best.remaining})
+		now += best.remaining
+		best.remaining = 0
+		done[best.layer] = now + c.lag(best.layer)
+		pendingCount--
+	}
+	return done, segs
+}

@@ -234,9 +234,12 @@ func RunTraced(m *models.Model, cl Cluster, workers int, method Method, tr *trac
 	case OOOBytePS:
 		prio = func(layer int) int { return layer }
 		preemptive = true
+		// The probes run serially through one scratch, so the search
+		// allocates only the candidate schedules after warm-up.
+		var scratch core.IterScratch
 		k = core.SearchK(L, func(kk int) float64 {
 			s := core.ReverseFirstK(m, kk, 0)
-			r := core.SimulateIteration(c, s, prio, true)
+			r := scratch.SimulateIteration(c, s, prio, true)
 			return core.Throughput(r.Makespan, m.Batch)
 		})
 		order = core.ReverseFirstK(m, k, 0)
@@ -244,9 +247,10 @@ func RunTraced(m *models.Model, cl Cluster, workers int, method Method, tr *trac
 		// Horovod keeps its FIFO collective pipeline; only the gradient
 		// computations are reordered.
 		prio = func(int) int { return 0 }
+		var scratch core.IterScratch
 		k = core.SearchK(L, func(kk int) float64 {
 			s := core.ReverseFirstK(m, kk, 0)
-			r := core.SimulateIteration(c, s, prio, false)
+			r := scratch.SimulateIteration(c, s, prio, false)
 			return core.Throughput(r.Makespan, m.Batch)
 		})
 		order = core.ReverseFirstK(m, k, 0)

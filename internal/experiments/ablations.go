@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"oooback/internal/core"
 	"oooback/internal/datapar"
 	"oooback/internal/models"
 	"oooback/internal/netsim"
+	"oooback/internal/parexec"
 	"oooback/internal/pipepar"
 	"oooback/internal/stats"
 )
@@ -38,10 +40,20 @@ func BaselinesPipe() string {
 			Schedule: sched, MaxVersions: 8, Link: netsim.NVLink(), Iterations: 4,
 		})
 	}
-	gp := run(pipepar.GPipe, false, false)
-	dap := run(pipepar.DAPPLE, false, false)
-	meg := run(pipepar.GPipe, false, true) // interleaved stages, conventional backward
-	megFF := run(pipepar.GPipe, true, true)
+	// The four systems are independent pipeline simulations; fan them out.
+	cfgs := []struct {
+		sched      pipepar.Schedule
+		ff, modulo bool
+	}{
+		{pipepar.GPipe, false, false},
+		{pipepar.DAPPLE, false, false},
+		{pipepar.GPipe, false, true}, // interleaved stages, conventional backward
+		{pipepar.GPipe, true, true},
+	}
+	rs := parexec.Map(len(cfgs), parexec.Default(), func(i int) pipepar.Result {
+		return run(cfgs[i].sched, cfgs[i].ff, cfgs[i].modulo)
+	})
+	gp, dap, meg, megFF := rs[0], rs[1], rs[2], rs[3]
 	ooo := megFF // OOO-Pipe2 is exactly modulo + fast-forwarding
 
 	t := stats.NewTable("system", "seq/s", "vs GPipe", "note")
@@ -139,10 +151,18 @@ func AblationRegions() string {
 		return n, sum / float64(n)
 	}
 
+	regionCfgs := []int{1, len(blocks)}
+	type scored struct {
+		placed int
+		mean   float64
+	}
+	results := parexec.Map(len(regionCfgs), parexec.Default(), func(i int) scored {
+		placed, mean := score(regionCfgs[i])
+		return scored{placed, mean}
+	})
 	t := stats.NewTable("regions", "dW kernels placed", "mean co-run speedup")
-	for _, r := range []int{1, len(blocks)} {
-		placed, mean := score(r)
-		t.Add(r, placed, mean)
+	for i, r := range regionCfgs {
+		t.Add(r, results[i].placed, results[i].mean)
 	}
 	return t.String() + "\nPer-block regions place kernels where their occupancy complements the\nmain stream; a single region collapses that choice.\n"
 }
@@ -162,16 +182,21 @@ func AblationKSweep() string {
 		return core.Throughput(r.Makespan, m.Batch)
 	}
 
+	// Exhaustive sweep (ground truth): L independent probes, fanned out and
+	// reduced in k order so the argmax matches the serial scan exactly.
+	sweep := parexec.Map(L, parexec.Default(), measure)
 	bestK, bestV := 0, 0.0
-	evals := 0
-	for k := 0; k < L; k++ {
-		evals++
-		if v := measure(k); v > bestV {
+	evals := len(sweep)
+	for k, v := range sweep {
+		if v > bestV {
 			bestK, bestV = k, v
 		}
 	}
-	searchEvals := 0
-	searchK := core.SearchK(L, func(k int) float64 { searchEvals++; return measure(k) })
+	var searchEvals atomic.Int64
+	searchK := core.SearchKParallel(L, parexec.Default(), func(k int) float64 {
+		searchEvals.Add(1)
+		return measure(k)
+	})
 	searchV := measure(searchK)
 
 	ls := core.ListSchedule(c)
@@ -183,7 +208,7 @@ func AblationKSweep() string {
 	t := stats.NewTable("method", "k", "throughput", "vs best", "measurements")
 	t.Add("lower bound (unreachable)", "-", fmt.Sprintf("%.0f", boundV), boundV/bestV, "-")
 	t.Add("exhaustive sweep", bestK, fmt.Sprintf("%.0f", bestV), 1.0, evals)
-	t.Add("concave search (§5.1)", searchK, fmt.Sprintf("%.0f", searchV), searchV/bestV, searchEvals)
+	t.Add("concave search (§5.1)", searchK, fmt.Sprintf("%.0f", searchV), searchV/bestV, searchEvals.Load())
 	t.Add("list scheduling", "-", fmt.Sprintf("%.0f", lsV), lsV/bestV, "needs sync times")
 	t.Add("conventional (k=0)", 0, fmt.Sprintf("%.0f", conv), conv/bestV, "-")
 	return t.String() + fmt.Sprintf("\nBest schedule sits within %.1f%% of the §2 lower bound.\n",
@@ -200,21 +225,27 @@ func AblationModulo() string {
 		name string
 		spec netsim.LinkSpec
 	}{{"NVLink", netsim.NVLink()}, {"PCIe", netsim.PCIe3x16()}, {"10GbE", netsim.Ethernet10G()}}
-	t := stats.NewTable("interconnect", "group=1", "group=2", "group=4", "contiguous")
-	for _, l := range links {
-		row := []any{l.name}
-		for _, g := range []int{1, 2, 4} {
-			r := pipepar.Run(m, pipepar.Config{
-				GPUs: 4, MicroBatches: 4, Alloc: core.ModuloAllocation(L, 4, g),
-				FastForward: true, Schedule: pipepar.GPipe, Link: l.spec,
-			})
-			row = append(row, fmt.Sprintf("%.0f", r.Throughput))
+	groups := []int{1, 2, 4, 0} // 0 = balanced contiguous baseline
+	// The 3×4 (interconnect × allocation) grid is embarrassingly parallel:
+	// evaluate all cells at once, then assemble rows in grid order.
+	cells := parexec.Map(len(links)*len(groups), parexec.Default(), func(i int) float64 {
+		l, g := links[i/len(groups)], groups[i%len(groups)]
+		alloc := pipepar.BalancedContiguous(m, 4)
+		if g > 0 {
+			alloc = core.ModuloAllocation(L, 4, g)
 		}
 		r := pipepar.Run(m, pipepar.Config{
-			GPUs: 4, MicroBatches: 4, Alloc: pipepar.BalancedContiguous(m, 4),
+			GPUs: 4, MicroBatches: 4, Alloc: alloc,
 			FastForward: true, Schedule: pipepar.GPipe, Link: l.spec,
 		})
-		row = append(row, fmt.Sprintf("%.0f", r.Throughput))
+		return r.Throughput
+	})
+	t := stats.NewTable("interconnect", "group=1", "group=2", "group=4", "contiguous")
+	for li, l := range links {
+		row := []any{l.name}
+		for gi := range groups {
+			row = append(row, fmt.Sprintf("%.0f", cells[li*len(groups)+gi]))
+		}
 		t.Add(row...)
 	}
 	return t.String()
@@ -225,18 +256,26 @@ func AblationModulo() string {
 // §8.4.2 note that training BERT-48 needed 32 versions for peak throughput.
 func AblationStaleness() string {
 	m := models.VocabParallelHead(models.BERT(models.V100Profile(), 24, 128, 512), 8)
-	t := stats.NewTable("max versions", "seq/s", "staleness")
-	for _, v := range []int{1, 2, 4, 8} {
-		r := pipepar.Run(m, pipepar.Config{
+	versions := []int{1, 2, 4, 8}
+	// Index len(versions) is the OOO-Pipe2 reference point; the whole sweep
+	// fans out as one grid.
+	rs := parexec.Map(len(versions)+1, parexec.Default(), func(i int) pipepar.Result {
+		if i == len(versions) {
+			return pipepar.Run(m, pipepar.Config{
+				GPUs: 8, MicroBatches: 8, Alloc: core.ModuloAllocation(len(m.Layers), 8, 1),
+				FastForward: true, Schedule: pipepar.GPipe, Link: netsim.NVLink(), Iterations: 4,
+			})
+		}
+		return pipepar.Run(m, pipepar.Config{
 			GPUs: 8, MicroBatches: 8, Alloc: pipepar.BalancedContiguous(m, 8),
-			Schedule: pipepar.PipeDream, MaxVersions: v, Link: netsim.NVLink(),
+			Schedule: pipepar.PipeDream, MaxVersions: versions[i], Link: netsim.NVLink(),
 			Iterations: 6,
 		})
-		t.Add(v, fmt.Sprintf("%.0f", r.Throughput), r.Versions)
-	}
-	ooo := pipepar.Run(m, pipepar.Config{
-		GPUs: 8, MicroBatches: 8, Alloc: core.ModuloAllocation(len(m.Layers), 8, 1),
-		FastForward: true, Schedule: pipepar.GPipe, Link: netsim.NVLink(), Iterations: 4,
 	})
+	t := stats.NewTable("max versions", "seq/s", "staleness")
+	for i, v := range versions {
+		t.Add(v, fmt.Sprintf("%.0f", rs[i].Throughput), rs[i].Versions)
+	}
+	ooo := rs[len(versions)]
 	return t.String() + fmt.Sprintf("\nOOO-Pipe2 (no staleness at all): %.0f seq/s\n", ooo.Throughput)
 }

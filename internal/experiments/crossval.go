@@ -7,6 +7,7 @@ import (
 	"oooback/internal/datapar"
 	"oooback/internal/graph"
 	"oooback/internal/models"
+	"oooback/internal/parexec"
 	"oooback/internal/stats"
 )
 
@@ -23,21 +24,31 @@ func CrossVal() string {
 	m := models.ResNet(models.TitanXPProfile(), 50, 64, models.ImageNet)
 	cl := datapar.PrivA() // 10 GbE: communication-stressed
 	L := len(m.Layers)
+	workers := []int{2, 4, 8}
+	schedules := []struct {
+		name  string
+		order graph.BackwardSchedule
+	}{
+		{"conventional", graph.Conventional(L)},
+		{"reverse-first-40", core.ReverseFirstK(m, 40, 0)},
+	}
+	// Each (workers, schedule) cell runs an independent analytic + full
+	// simulation pair; evaluate the grid concurrently, render rows in order.
+	type cell struct{ an, full core.IterResult }
+	cells := parexec.Map(len(workers)*len(schedules), parexec.Default(), func(i int) cell {
+		w, sc := workers[i/len(schedules)], schedules[i%len(schedules)]
+		c := datapar.Costs(m, cl, w, datapar.BytePS)
+		c.SyncLag = nil
+		an := core.SimulateIteration(c, sc.order, func(l int) int { return l }, true)
+		full := datapar.FullSim(m, cl, w, sc.order)
+		return cell{an: an, full: core.IterResult{Makespan: full.IterTime}}
+	})
 	t := stats.NewTable("workers", "schedule", "analytic", "full sim", "full/analytic")
-	for _, w := range []int{2, 4, 8} {
-		for _, sc := range []struct {
-			name  string
-			order graph.BackwardSchedule
-		}{
-			{"conventional", graph.Conventional(L)},
-			{"reverse-first-40", core.ReverseFirstK(m, 40, 0)},
-		} {
-			c := datapar.Costs(m, cl, w, datapar.BytePS)
-			c.SyncLag = nil
-			an := core.SimulateIteration(c, sc.order, func(l int) int { return l }, true)
-			full := datapar.FullSim(m, cl, w, sc.order)
-			t.Add(w, sc.name, an.Makespan.Round(fmtMS).String(), full.IterTime.Round(fmtMS).String(),
-				fmt.Sprintf("%.2f", float64(full.IterTime)/float64(an.Makespan)))
+	for wi, w := range workers {
+		for si, sc := range schedules {
+			c := cells[wi*len(schedules)+si]
+			t.Add(w, sc.name, c.an.Makespan.Round(fmtMS).String(), c.full.Makespan.Round(fmtMS).String(),
+				fmt.Sprintf("%.2f", float64(c.full.Makespan)/float64(c.an.Makespan)))
 		}
 	}
 	return t.String() + "\nThe analytic model serializes communication on one contended channel; the\nfull simulation routes every shard message over per-worker NICs. Agreement\nwithin tens of percent validates the Fig 10 methodology.\n"

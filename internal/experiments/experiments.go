@@ -12,7 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
+
+	"oooback/internal/parexec"
 )
 
 // Experiment is one reproducible evaluation artifact.
@@ -51,41 +52,35 @@ func IDs() []string {
 }
 
 // RunAll executes every experiment and concatenates the reports.
-func RunAll() string {
-	var b strings.Builder
-	for _, id := range IDs() {
-		e := registry[id]
-		fmt.Fprintf(&b, "==== %s: %s ====\n%s\n", e.ID, e.Title, e.Run())
-	}
-	return b.String()
-}
+func RunAll() string { return RunAllParallel(1) }
 
-// RunAllParallel runs every experiment concurrently on up to `workers`
-// goroutines and concatenates the reports in the same deterministic (id)
-// order as RunAll. Experiments are independent, deterministic simulations,
-// so the output is identical to the sequential run.
+// RunAllParallel runs every experiment on up to `workers` goroutines
+// (bounded by parexec's worker pool) and concatenates the reports in the
+// same deterministic (id) order as RunAll. Experiments are independent,
+// deterministic simulations, so the output is byte-identical to the
+// sequential run for every worker count.
 func RunAllParallel(workers int) string {
-	if workers < 1 {
-		workers = 1
-	}
 	ids := IDs()
-	reports := make([]string, len(ids))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, id := range ids {
-		i, e := i, registry[id]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			reports[i] = fmt.Sprintf("==== %s: %s ====\n%s\n", e.ID, e.Title, e.Run())
-		}()
-	}
-	wg.Wait()
+	reports := parexec.Map(len(ids), workers, func(i int) string {
+		e := registry[ids[i]]
+		return fmt.Sprintf("==== %s: %s ====\n%s\n", e.ID, e.Title, e.Run())
+	})
 	var b strings.Builder
 	for _, r := range reports {
 		b.WriteString(r)
 	}
 	return b.String()
+}
+
+// RunNamedParallel runs the given experiment ids on up to `workers`
+// goroutines and returns the reports in the ids' order (without headers).
+// Unknown ids yield empty strings; callers validate ids up front.
+func RunNamedParallel(ids []string, workers int) []string {
+	return parexec.Map(len(ids), workers, func(i int) string {
+		e, ok := registry[ids[i]]
+		if !ok {
+			return ""
+		}
+		return e.Run()
+	})
 }

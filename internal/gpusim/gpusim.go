@@ -174,7 +174,7 @@ type GPU struct {
 	eng     *sim.Engine
 	streams []*Stream
 	running []*Kernel
-	recalc  *sim.Event // pending completion event
+	recalc  sim.Event // pending completion event (zero handle = none)
 	mem     MemAccount
 
 	// SM occupancy integral: Σ allocated-thread-block-slots × dt, in
@@ -294,10 +294,8 @@ func (g *GPU) reallocate() {
 	// Fold the previous allocation level into the occupancy integral.
 	g.occIntegral += g.occCurrent * float64(now-g.occIntegratedTo)
 	g.occIntegratedTo = now
-	if g.recalc != nil {
-		g.recalc.Cancel()
-		g.recalc = nil
-	}
+	g.recalc.Cancel() // stale or zero handles are no-ops
+	g.recalc = sim.Event{}
 	g.occCurrent = 0
 	if len(g.running) == 0 {
 		return

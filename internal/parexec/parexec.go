@@ -1,0 +1,98 @@
+// Package parexec evaluates independent simulation tasks on a bounded worker
+// pool with results merged in submission order, so a parallel run is
+// bit-identical to its serial counterpart.
+//
+// # Determinism contract
+//
+// Every simulator in this repository is a pure function of its inputs (no
+// wall-clock reads, no shared mutable state, fixed seeds), so evaluating N
+// independent (config, seed) points concurrently and collecting the results
+// by submission index yields exactly the bytes a serial loop would produce.
+// The contract the caller must uphold:
+//
+//  1. fn(i) depends only on i and on data that is read-only for the duration
+//     of the call — never on call order, goroutine identity, or time.
+//  2. Any per-task randomness is seeded from the index i (or from data
+//     derived from it), not from a generator shared across tasks.
+//
+// Under that contract, Map(n, w, fn) returns the same slice for every w,
+// which the experiment driver and the SearchK sweep rely on (asserted by
+// TestMapDeterministicAcrossWorkerCounts and the experiments golden tests).
+//
+// With workers ≤ 1 the tasks run inline on the calling goroutine — no
+// goroutines are spawned — so closures that are not safe for concurrent use
+// can still go through the same code path serially.
+package parexec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Default returns the default worker count: the process's GOMAXPROCS.
+func Default() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(i) for every i in [0, n) on up to workers concurrent
+// goroutines and returns the n results ordered by index. A panic in any task
+// is re-raised on the calling goroutine after the remaining workers drain.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers concurrent
+// goroutines and returns once all calls completed. A panic in any task is
+// re-raised on the calling goroutine after the remaining workers drain.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							// Keep the first panic; later ones lose the race
+							// and are dropped (the run is aborted anyway).
+							if panicked.CompareAndSwap(false, true) {
+								panicVal = r
+							}
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}

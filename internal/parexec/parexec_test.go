@@ -1,0 +1,109 @@
+package parexec
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// task derives a deterministic value from its index alone (the package's
+// seeding contract): a small PRNG seeded by i.
+func task(i int) uint64 {
+	r := rand.New(rand.NewSource(int64(i)*2654435761 + 1))
+	var v uint64
+	for j := 0; j < 100+i%7; j++ {
+		v = v*31 + uint64(r.Intn(1000))
+	}
+	return v
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n = 200
+	want := Map(n, 1, task) // serial reference
+	for _, w := range []int{2, 3, 8, 64, 1000} {
+		got := Map(n, w, task)
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results, want %d", w, len(got), n)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, serial %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	const n = 500
+	var counts [n]atomic.Int32
+	ForEach(n, 7, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times, want 1", i, c)
+		}
+	}
+}
+
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 4
+	var inFlight, peak atomic.Int32
+	gate := make(chan struct{})
+	go func() { close(gate) }()
+	ForEach(64, workers, func(i int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		<-gate // force overlap
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, want ≤ %d", p, workers)
+	}
+}
+
+func TestSerialPathSpawnsNoGoroutines(t *testing.T) {
+	// With workers ≤ 1 a non-thread-safe closure must be legal: mutate
+	// unsynchronized state and rely on strict in-order execution.
+	var order []int
+	ForEach(50, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial path out of order at %d: %v", i, v)
+		}
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		w := w
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want boom", w, r)
+				}
+			}()
+			ForEach(32, w, func(i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: no panic surfaced", w)
+		}()
+	}
+}
+
+func TestEmptyAndSmall(t *testing.T) {
+	if got := Map(0, 8, task); got != nil {
+		t.Fatalf("Map(0) = %v, want nil", got)
+	}
+	if got := Map(1, 8, task); len(got) != 1 || got[0] != task(0) {
+		t.Fatalf("Map(1) = %v", got)
+	}
+	if got := Map(3, -5, task); len(got) != 3 {
+		t.Fatalf("Map with negative workers = %v", got)
+	}
+}

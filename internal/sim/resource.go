@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // Server models a resource that serves one request at a time (a GPU issue
 // thread, a link direction, ...). Requests are served in priority order
 // (lower value first), FIFO within a priority. Each request occupies the
@@ -9,7 +7,7 @@ import "container/heap"
 type Server struct {
 	eng   *Engine
 	busy  bool
-	queue reqHeap
+	queue []request // binary heap ordered by (prio, seq)
 	seq   uint64
 }
 
@@ -20,23 +18,11 @@ type request struct {
 	done func(start, end Time)
 }
 
-type reqHeap []request
-
-func (h reqHeap) Len() int { return len(h) }
-func (h reqHeap) Less(i, j int) bool {
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
+func reqLess(a, b request) bool {
+	if a.prio != b.prio {
+		return a.prio < b.prio
 	}
-	return h[i].seq < h[j].seq
-}
-func (h reqHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *reqHeap) Push(x any)   { *h = append(*h, x.(request)) }
-func (h *reqHeap) Pop() any {
-	old := *h
-	n := len(old)
-	r := old[n-1]
-	*h = old[:n-1]
-	return r
+	return a.seq < b.seq
 }
 
 // NewServer returns a Server bound to the engine.
@@ -45,12 +31,28 @@ func NewServer(eng *Engine) *Server { return &Server{eng: eng} }
 // Submit enqueues a request with the given priority and service time. done is
 // called when service completes, with the service start and end times; it may
 // be nil.
+//
+// The queue is a plain value heap (no container/heap interface boxing), so a
+// Submit allocates only when the queue outgrows its high-water mark.
 func (s *Server) Submit(prio int, dur Time, done func(start, end Time)) {
 	if dur < 0 {
 		panic("sim: negative service time")
 	}
-	heap.Push(&s.queue, request{prio: prio, seq: s.seq, dur: dur, done: done})
+	s.queue = append(s.queue, request{prio: prio, seq: s.seq, dur: dur, done: done})
 	s.seq++
+	// Sift up.
+	q := s.queue
+	i := len(q) - 1
+	r := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !reqLess(r, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = r
 	if !s.busy {
 		s.dispatch()
 	}
@@ -62,13 +64,43 @@ func (s *Server) Busy() bool { return s.busy }
 // QueueLen reports the number of waiting (not in-service) requests.
 func (s *Server) QueueLen() int { return len(s.queue) }
 
+// pop removes and returns the minimum request.
+func (s *Server) pop() request {
+	q := s.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n].done = nil // release the closure for GC
+	s.queue = q[:n]
+	if n > 0 {
+		// Sift last down from the root.
+		i := 0
+		for {
+			child := 2*i + 1
+			if child >= n {
+				break
+			}
+			if r := child + 1; r < n && reqLess(q[r], q[child]) {
+				child = r
+			}
+			if !reqLess(q[child], last) {
+				break
+			}
+			q[i] = q[child]
+			i = child
+		}
+		q[i] = last
+	}
+	return top
+}
+
 func (s *Server) dispatch() {
 	if len(s.queue) == 0 {
 		s.busy = false
 		return
 	}
 	s.busy = true
-	r := heap.Pop(&s.queue).(request)
+	r := s.pop()
 	start := s.eng.Now()
 	s.eng.After(r.dur, func() {
 		if r.done != nil {

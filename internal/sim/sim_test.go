@@ -235,3 +235,149 @@ func TestEventOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEngineReset(t *testing.T) {
+	e := New()
+	fired := false
+	e.Schedule(10, func() { fired = true })
+	e.Schedule(20, func() { fired = true })
+	e.Reset()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Reset = %d, want 0", e.Pending())
+	}
+	if end := e.Run(); end != 0 || fired {
+		t.Fatalf("Reset did not drop events: end=%v fired=%v", end, fired)
+	}
+	// The engine is fully reusable: time, sequence, and step counters restart.
+	var got []int
+	e.Schedule(5, func() { got = append(got, 1) })
+	e.Schedule(5, func() { got = append(got, 2) })
+	if end := e.Run(); end != 5 {
+		t.Fatalf("end after reuse = %v, want 5", end)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("FIFO order after Reset = %v, want [1 2]", got)
+	}
+	if e.Steps() != 2 {
+		t.Fatalf("Steps after Reset+Run = %d, want 2", e.Steps())
+	}
+}
+
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	e := New()
+	h1 := e.Schedule(10, func() {})
+	e.Run() // h1 fires; its slot returns to the free list
+	fired := false
+	e.Reset()
+	e.Schedule(30, func() { fired = true }) // reuses h1's slot
+	h1.Cancel()                             // stale: must not cancel the new event
+	e.Run()
+	if !fired {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+}
+
+func TestCancelledHandleAfterReset(t *testing.T) {
+	e := New()
+	h := e.Schedule(10, func() { t.Error("dropped event fired") })
+	e.Reset()
+	h.Cancel() // stale after Reset: no-op, must not corrupt the queue
+	fired := false
+	e.Schedule(5, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("event scheduled after Reset did not fire")
+	}
+}
+
+func TestPendingCountsLiveEventsOnly(t *testing.T) {
+	e := New()
+	var evs []Event
+	for i := 0; i < 5; i++ {
+		evs = append(evs, e.Schedule(Time(10*(i+1)), func() {}))
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", e.Pending())
+	}
+	evs[1].Cancel()
+	evs[3].Cancel()
+	evs[3].Cancel() // double cancel is a no-op
+	if e.Pending() != 3 {
+		t.Fatalf("Pending after cancels = %d, want 3", e.Pending())
+	}
+	e.Step()
+	if e.Pending() != 2 {
+		t.Fatalf("Pending after step = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", e.Pending())
+	}
+}
+
+func TestCancelMiddleKeepsOrder(t *testing.T) {
+	e := New()
+	var got []int
+	var h Event
+	for i := 0; i < 10; i++ {
+		i := i
+		ev := e.Schedule(Time(i%3), func() { got = append(got, i) })
+		if i == 4 {
+			h = ev
+		}
+	}
+	h.Cancel()
+	e.Run()
+	want := []int{0, 3, 6, 9, 1, 7, 2, 5, 8} // by (time, seq), minus i=4
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleAllocsAmortizedZero(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Warm the arena.
+	for i := 0; i < 64; i++ {
+		e.Schedule(Time(i), fn)
+	}
+	e.Run()
+	e.Reset()
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			e.Schedule(Time(i), fn)
+		}
+		e.Run()
+		e.Reset()
+	})
+	if avg != 0 {
+		t.Fatalf("warm Schedule/Run/Reset allocated %.1f per run, want 0", avg)
+	}
+}
+
+func TestServerSubmitAllocsAmortizedZero(t *testing.T) {
+	e := New()
+	s := NewServer(e)
+	done := func(start, end Time) {}
+	for i := 0; i < 32; i++ {
+		s.Submit(i%4, 1, done)
+	}
+	e.Run()
+	e.Reset()
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			s.Submit(i%4, 1, done)
+		}
+	})
+	// The queue heap itself must not allocate; the dispatch closure in the
+	// engine event is the only allocation left (2 words per service).
+	if avg > 3 {
+		t.Fatalf("warm Submit allocated %.1f per run, want ≤ 3", avg)
+	}
+	e.Run()
+}

@@ -127,8 +127,9 @@ func MemoryStudy(m *models.Model, gpu gpusim.Config) MemoryStudyResult {
 
 	// Single iterations: the study's maps key kernels by name.
 	var sTr, mTr trace.Trace
-	_, _, _, _ = runIters(m, single, gpu, 1, &sTr)
-	_, _, _, _ = runIters(m, multi, gpu, 1, &mTr)
+	eng := sim.New()
+	_, _, _, _ = runIters(eng, m, single, gpu, 1, &sTr)
+	_, _, _, _ = runIters(eng, m, multi, gpu, 1, &mTr)
 	sc := clockFromTrace(&sTr)
 	mc := clockFromTrace(&mTr)
 

@@ -157,10 +157,11 @@ func Run(m *models.Model, exec Executor, gpu gpusim.Config) Result {
 		candidates = append(candidates, pinned)
 	}
 	best := sim.MaxTime
+	eng := sim.New() // one engine, Reset between runs: the event pool stays warm
 	for _, cand := range candidates {
-		one, _, _, _ := runIters(m, cand, gpu, 1, nil)
+		one, _, _, _ := runIters(eng, m, cand, gpu, 1, nil)
 		tr := &trace.Trace{}
-		two, plan, _, smUtil := runIters(m, cand, gpu, 2, tr)
+		two, plan, _, smUtil := runIters(eng, m, cand, gpu, 2, tr)
 		if marginal := two - one; marginal < best {
 			best = marginal
 			res.Trace = tr
@@ -173,14 +174,14 @@ func Run(m *models.Model, exec Executor, gpu gpusim.Config) Result {
 	return res
 }
 
-// runIters simulates `iters` back-to-back iterations and returns the
-// makespan plus the device's mean SM occupancy. tr may be nil (spans
-// discarded).
-func runIters(m *models.Model, exec Executor, gpu gpusim.Config, iters int, tr *trace.Trace) (sim.Time, iterPlan, *trace.Trace, float64) {
+// runIters simulates `iters` back-to-back iterations on eng (Reset first, so
+// a caller can reuse one engine across runs) and returns the makespan plus
+// the device's mean SM occupancy. tr may be nil (spans discarded).
+func runIters(eng *sim.Engine, m *models.Model, exec Executor, gpu gpusim.Config, iters int, tr *trace.Trace) (sim.Time, iterPlan, *trace.Trace, float64) {
 	if tr == nil {
 		tr = &trace.Trace{}
 	}
-	eng := sim.New()
+	eng.Reset()
 	dev := gpusim.New(eng, gpu)
 	dev.SpanSink = func(stream, kernel string, start, end sim.Time) {
 		kind := "fwd"
