@@ -6,6 +6,9 @@
 package oooback
 
 import (
+	"io"
+	"log/slog"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -17,6 +20,7 @@ import (
 	"oooback/internal/models"
 	"oooback/internal/netsim"
 	"oooback/internal/pipepar"
+	"oooback/internal/plansvc"
 	"oooback/internal/sim"
 	"oooback/internal/singlegpu"
 	"oooback/internal/tensor"
@@ -212,6 +216,31 @@ func BenchmarkMemoryProfile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		graph.MemoryProfile(m, s)
 	}
+}
+
+// BenchmarkPlanService drives the schedule-planning HTTP service with the
+// deterministic closed-loop load generator (the full zoo × 3 GPU counts) and
+// reports service-level throughput. The BENCH files track the ops/s metric.
+func BenchmarkPlanService(b *testing.B) {
+	svc := plansvc.New(plansvc.Options{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	srv := httptest.NewServer(svc.Handler())
+	b.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	b.ResetTimer()
+	rep, err := plansvc.RunLoad(plansvc.LoadSpec{BaseURL: srv.URL, Clients: 4, Requests: b.N})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if rep.TransportErrors > 0 || rep.StatusCounts["200"] != b.N {
+		b.Fatalf("load run failed: %+v", rep)
+	}
+	b.ReportMetric(rep.OpsPerSec, "ops/s")
+	b.ReportMetric(rep.LatencyMsP95, "p95-ms")
 }
 
 var sinkDuration time.Duration

@@ -6,22 +6,37 @@
 //
 //	ooodash -addr :8080
 //	# then open http://localhost:8080/
+//
+// The server carries production timeouts and drains gracefully on
+// SIGINT/SIGTERM (shared lifecycle helper with cmd/oooplan).
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
-	"log"
-	"net/http"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"oooback/internal/dash"
+	"oooback/internal/plansvc"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	grace := flag.Duration("grace", 10*time.Second, "drain timeout on shutdown")
 	flag.Parse()
-	log.Printf("ooodash listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, dash.Handler()); err != nil {
-		log.Fatal(fmt.Errorf("ooodash: %w", err))
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := plansvc.NewHTTPServer(*addr, dash.Handler())
+	log.Info("ooodash listening", "addr", *addr)
+	if err := plansvc.Serve(ctx, srv, log, *grace); err != nil {
+		log.Error("ooodash", "err", err)
+		os.Exit(1)
 	}
 }

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -12,6 +16,7 @@ import (
 	"oooback/internal/datapar"
 	"oooback/internal/graph"
 	"oooback/internal/models"
+	"oooback/internal/plansvc"
 	"oooback/internal/sim"
 )
 
@@ -22,6 +27,9 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// OpsPerSec carries a benchmark's custom "ops/s" metric when it reports
+	// one (the plan-service closed-loop throughput); 0 otherwise.
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
 }
 
 // benchBaseline is the BENCH_BASELINE.json document.
@@ -53,6 +61,7 @@ func runBench(outDir string) error {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			OpsPerSec:   r.Extra["ops/s"],
 		})
 		fmt.Fprintf(os.Stderr, "bench %-32s %12.0f ns/op %6d allocs/op\n",
 			bm.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
@@ -149,6 +158,53 @@ func benchList() []namedBench {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				core.ReverseFirstK(m, 40, 16<<30)
+			}
+		}},
+		{"PlanServiceLoadgen", func(b *testing.B) {
+			svc := plansvc.New(plansvc.Options{
+				Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+			})
+			srv := httptest.NewServer(svc.Handler())
+			b.Cleanup(func() {
+				srv.Close()
+				svc.Close()
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			rep, err := plansvc.RunLoad(plansvc.LoadSpec{BaseURL: srv.URL, Clients: 4, Requests: b.N})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if rep.TransportErrors > 0 || rep.StatusCounts["200"] != b.N {
+				b.Fatalf("load run failed: %+v", rep)
+			}
+			b.ReportMetric(rep.OpsPerSec, "ops/s")
+		}},
+		{"PlanServiceWarmHit", func(b *testing.B) {
+			svc := plansvc.New(plansvc.Options{
+				Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+			})
+			srv := httptest.NewServer(svc.Handler())
+			b.Cleanup(func() {
+				srv.Close()
+				svc.Close()
+			})
+			body := plansvc.LoadSpec{}.RequestBody(0)
+			client := srv.Client()
+			post := func() {
+				resp, err := client.Post(srv.URL+"/v1/plan", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			post() // warm the cache
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				post()
 			}
 		}},
 	}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"oooback/internal/plansvc"
+)
+
+// runLoadgen drives a deterministic closed loop against a running service
+// (-addr) or a self-contained in-process one (-inproc) and prints the
+// aggregate report as JSON.
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "", "target service base URL (e.g. http://localhost:8080)")
+	inproc := fs.Bool("inproc", false, "spin up an in-process service and load it")
+	clients := fs.Int("clients", 4, "concurrent closed-loop clients")
+	requests := fs.Int("requests", 256, "total requests")
+	mode := fs.String("mode", "datapar", "planning mode for the mix")
+	preset := fs.String("preset", "pub-a", "cluster preset for the mix")
+	modelsCSV := fs.String("models", "", "comma-separated model mix (default: full zoo)")
+	gpusCSV := fs.String("gpus", "4,8,16", "comma-separated GPU counts rotated through the mix")
+	timeoutMS := fs.Int64("timeout-ms", 0, "per-request planning deadline (0 = server limit)")
+	fs.Parse(args)
+
+	spec := plansvc.LoadSpec{
+		BaseURL:       strings.TrimRight(*addr, "/"),
+		Clients:       *clients,
+		Requests:      *requests,
+		Mode:          *mode,
+		Preset:        *preset,
+		TimeoutMillis: *timeoutMS,
+	}
+	if *modelsCSV != "" {
+		spec.Models = strings.Split(*modelsCSV, ",")
+	}
+	if *gpusCSV != "" {
+		counts, err := parseInts(*gpusCSV)
+		if err != nil {
+			return fmt.Errorf("-gpus: %w", err)
+		}
+		spec.GPUCounts = counts
+	}
+
+	if *inproc {
+		if spec.BaseURL != "" {
+			return fmt.Errorf("-inproc and -addr are mutually exclusive")
+		}
+		// Quiet service logs so the report JSON stays the only stdout output.
+		log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+		svc := plansvc.New(plansvc.Options{Logger: log})
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := plansvc.NewHTTPServer(ln.Addr().String(), svc.Handler())
+		go srv.Serve(ln)
+		defer srv.Close()
+		spec.BaseURL = "http://" + ln.Addr().String()
+	}
+	if spec.BaseURL == "" {
+		return fmt.Errorf("one of -addr or -inproc is required")
+	}
+
+	rep, err := plansvc.RunLoad(spec)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("GPU count must be ≥ 1, got %d", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+// Command oooplan runs the schedule-planning service and its load generator.
+//
+// Serve the planning API (graceful shutdown on SIGINT/SIGTERM):
+//
+//	oooplan serve -addr :8080
+//	curl -s localhost:8080/v1/models
+//	curl -s -X POST localhost:8080/v1/plan -d '{"model":"resnet50","cluster":{"preset":"pub-a","gpus":16}}'
+//	curl -s localhost:8080/metrics
+//
+// Drive a deterministic closed-loop load against it:
+//
+//	oooplan loadgen -addr http://localhost:8080 -clients 8 -requests 512
+//	oooplan loadgen -inproc -clients 8 -requests 512   # self-contained
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oooback/internal/plansvc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "loadgen":
+		err = runLoadgen(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "oooplan: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oooplan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  oooplan serve   [-addr :8080] [-workers N] [-queue N] [-cache N] [-grace 10s]
+  oooplan loadgen [-addr URL | -inproc] [-clients N] [-requests N] [-mode datapar]
+`)
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "planner worker pool size (0 = auto)")
+	queue := fs.Int("queue", 0, "admission queue depth (0 = default)")
+	cacheSize := fs.Int("cache", 0, "plan cache entries (0 = default)")
+	grace := fs.Duration("grace", 10*time.Second, "drain timeout on shutdown")
+	fs.Parse(args)
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	svc := plansvc.New(plansvc.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cacheSize,
+		Logger:     log,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := plansvc.NewHTTPServer(*addr, svc.Handler())
+	log.Info("oooplan serving", "addr", *addr)
+	err := plansvc.Serve(ctx, srv, log, *grace)
+	// Workers drain only after the HTTP server stopped accepting requests,
+	// so no in-flight handler loses its planner.
+	svc.Close()
+	return err
+}

@@ -1,15 +1,17 @@
 // Package dash serves the experiment suite over HTTP (used by cmd/ooodash).
 // It renders an index of every registered experiment and runs them on
-// demand, caching the reports (they are deterministic).
+// demand. Reports are deterministic, so they are cached in the same bounded
+// LRU + singleflight layer the planning service uses: concurrent requests
+// for one experiment run it once, and the cache cannot grow without bound.
 package dash
 
 import (
 	"fmt"
 	"html/template"
 	"net/http"
-	"sync"
 
 	"oooback/internal/experiments"
+	"oooback/internal/plansvc/cache"
 )
 
 var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
@@ -37,10 +39,13 @@ var reportTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
 <pre>{{.Report}}</pre>
 </body></html>`))
 
+// reportCacheSize bounds the report LRU; the suite has a few dozen
+// experiments, so this effectively caches everything while staying bounded.
+const reportCacheSize = 128
+
 // Handler returns the dashboard's HTTP handler.
 func Handler() http.Handler {
-	var mu sync.Mutex
-	cache := map[string]string{}
+	reports := cache.New[string, string](reportCacheSize)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -64,16 +69,16 @@ func Handler() http.Handler {
 			http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
 			return
 		}
-		mu.Lock()
-		report, hit := cache[id]
-		mu.Unlock()
-		if !hit {
-			report = e.Run()
-			mu.Lock()
-			cache[id] = report
-			mu.Unlock()
+		// Identical concurrent requests collapse to one experiment run; a
+		// cancelled client abandons the wait without cancelling the run.
+		report, err, _ := reports.Do(r.Context(), id, func() (string, error) {
+			return e.Run(), nil
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
 		}
-		err := reportTmpl.Execute(w, struct {
+		err = reportTmpl.Execute(w, struct {
 			ID, Title, Report string
 		}{e.ID, e.Title, report})
 		if err != nil {

@@ -1,0 +1,54 @@
+package models
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseModelJSON fuzzes the external-profile entry point. Invariants:
+// ReadJSON never panics; when it accepts an input the resulting model passes
+// Validate, and a WriteJSON → ReadJSON round trip reproduces it exactly.
+func FuzzParseModelJSON(f *testing.F) {
+	// Seed with a real builder output, a hand-written minimal model, and a
+	// sampler of near-miss invalid shapes.
+	var buf bytes.Buffer
+	if err := ResNet(V100Profile(), 50, 32, ImageNet).WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"Name":"tiny","Batch":1,"Layers":[
+		{"Name":"l0","Fwd":100,"DO":100,"DW":100,
+		 "FwdKernels":1,"DOKernels":1,"DWKernels":1}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Layers":[]}`))
+	f.Add([]byte(`{"Layers":[{"Fwd":-1}]}`))
+	f.Add([]byte(`{"Layers":[{"Fwd":1e999}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if m == nil {
+			t.Fatal("ReadJSON returned nil model with nil error")
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("accepted model fails Validate: %v", verr)
+		}
+		var out bytes.Buffer
+		if err := m.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted model does not re-encode: %v", err)
+		}
+		m2, err := ReadJSON(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip not identical:\n%#v\nvs\n%#v", m, m2)
+		}
+	})
+}

@@ -1,0 +1,457 @@
+package plansvc
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"oooback/internal/datapar"
+	"oooback/internal/gpusim"
+	"oooback/internal/models"
+	"oooback/internal/netsim"
+	"oooback/internal/pipepar"
+)
+
+// Plan modes: which of the paper's schedulers the request targets.
+const (
+	// ModeDataPar plans a data-parallel iteration: reverse first-k
+	// (Algorithm 2) with the concave k search against the requested
+	// synchronization method.
+	ModeDataPar = "datapar"
+	// ModePipeline plans a pipeline-parallel iteration: gradient
+	// fast-forwarding plus modulo layer allocation (§5.2).
+	ModePipeline = "pipeline"
+	// ModeSingleGPU plans a single-GPU iteration: multi-region joint
+	// scheduling of δW kernels onto the sub-stream (Algorithm 1).
+	ModeSingleGPU = "singlegpu"
+)
+
+// PlanRequest is the body of POST /v1/plan.
+type PlanRequest struct {
+	// Model names a zoo model (see GET /v1/models). Exactly one of Model and
+	// ModelSpec must be set.
+	Model string `json:"model,omitempty"`
+	// ModelSpec is an inline layer-cost profile in the models.WriteJSON
+	// format, for callers that profiled their own network.
+	ModelSpec json.RawMessage `json:"model_spec,omitempty"`
+
+	// Cluster describes the hardware the plan targets.
+	Cluster ClusterSpec `json:"cluster"`
+
+	// Mode selects the scheduler (default ModeDataPar).
+	Mode string `json:"mode,omitempty"`
+	// Method is the data-parallel synchronization system (default
+	// "ooo-byteps"): wfbp | horovod | p3 | byteps | ooo-byteps | ooo-horovod.
+	Method string `json:"method,omitempty"`
+	// MaxMemoryBytes clamps reverse first-k to schedules whose peak memory
+	// fits (0 = unconstrained).
+	MaxMemoryBytes int64 `json:"max_memory_bytes,omitempty"`
+
+	// MicroBatches per mini-batch for pipeline mode (default 4).
+	MicroBatches int `json:"micro_batches,omitempty"`
+	// Discipline is the pipeline schedule (default "gpipe"):
+	// gpipe | pipedream | dapple.
+	Discipline string `json:"discipline,omitempty"`
+	// GroupSize is the modulo-allocation group size in layers (default 1).
+	GroupSize int `json:"group_size,omitempty"`
+
+	// TimeoutMillis bounds the server-side planning time; on expiry the
+	// request fails with code "deadline_exceeded" (default: server limit).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// ClusterSpec selects a preset cluster (Table 2) or describes a custom one.
+type ClusterSpec struct {
+	// Preset names a Table 2 cluster: priv-a | priv-b | pub-a. When set, the
+	// other fields (except GPUs) default from the preset.
+	Preset string `json:"preset,omitempty"`
+	// GPUs is the worker count (data-parallel), pipeline depth (pipeline
+	// mode); ignored in single-GPU mode.
+	GPUs int `json:"gpus,omitempty"`
+	// GPU is the device type: v100 | titanxp | p100.
+	GPU string `json:"gpu,omitempty"`
+	// GPUsPerNode is the number of GPUs sharing one NIC.
+	GPUsPerNode int `json:"gpus_per_node,omitempty"`
+	// Interconnect is the inter-node link:
+	// ethernet-10g | ethernet-20g | ethernet-25g | nvlink | pcie3.
+	Interconnect string `json:"interconnect,omitempty"`
+	// IntraNode is the intra-node link (same vocabulary).
+	IntraNode string `json:"intra_node,omitempty"`
+}
+
+// PlanResponse is the body of a successful POST /v1/plan. It is a pure
+// function of the normalized request — no timestamps, request ids or timing
+// measurements — so cached, collapsed and freshly computed responses for one
+// fingerprint are byte-identical (request-scoped facts travel in headers).
+type PlanResponse struct {
+	// Fingerprint is the canonical request fingerprint (the cache key).
+	Fingerprint string `json:"fingerprint"`
+	// Mode echoes the normalized planning mode.
+	Mode string `json:"mode"`
+	// Model summarizes the planned model.
+	Model ModelSummary `json:"model"`
+
+	// K is the chosen reverse first-k depth (data-parallel mode).
+	K int `json:"k,omitempty"`
+	// Allocation maps 0-based layer index to GPU (pipeline mode).
+	Allocation []int `json:"allocation,omitempty"`
+	// Regions lists the δW layer indices assigned to each main-stream region
+	// by Algorithm 1 (single-GPU mode).
+	Regions [][]int `json:"regions,omitempty"`
+	// Overflow lists δW layers that spill past the last region (single-GPU).
+	Overflow []int `json:"overflow,omitempty"`
+
+	// Schedule is the optimized backward schedule ("dO50", "dW50", ...).
+	Schedule []string `json:"schedule"`
+
+	// IterTimeNs is the predicted iteration time under the plan.
+	IterTimeNs int64 `json:"iter_time_ns"`
+	// BaselineIterTimeNs is the predicted iteration time of the conventional
+	// order under the same system configuration.
+	BaselineIterTimeNs int64 `json:"baseline_iter_time_ns"`
+	// Baseline names the comparison configuration.
+	Baseline string `json:"baseline"`
+	// Speedup is BaselineIterTimeNs / IterTimeNs.
+	Speedup float64 `json:"speedup"`
+	// ThroughputSPS is global samples/second under the plan.
+	ThroughputSPS float64 `json:"throughput_sps"`
+}
+
+// ModelSummary identifies the planned model in responses.
+type ModelSummary struct {
+	Name       string `json:"name"`
+	Layers     int    `json:"layers"`
+	Batch      int    `json:"batch"`
+	ParamBytes int64  `json:"param_bytes"`
+}
+
+// Error codes of the typed error envelope.
+const (
+	CodeInvalidRequest   = "invalid_request"
+	CodeUnknownModel     = "unknown_model"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeOverloaded       = "overloaded"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeShuttingDown     = "shutting_down"
+	CodeInternal         = "internal"
+)
+
+// APIError is the JSON error envelope every non-2xx response carries.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Field names the offending request field for invalid_request errors.
+	Field string `json:"field,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429 responses.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("%s (%s): %s", e.Code, e.Field, e.Message)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+func invalidf(field, format string, args ...any) *APIError {
+	return &APIError{Code: CodeInvalidRequest, Field: field, Message: fmt.Sprintf(format, args...)}
+}
+
+// profiles maps GPU names to cost profiles and gpusim configs.
+var profiles = map[string]struct {
+	prof models.GPUProfile
+	cfg  gpusim.Config
+}{
+	"v100":    {models.V100Profile(), gpusim.V100()},
+	"titanxp": {models.TitanXPProfile(), gpusim.TitanXP()},
+	"p100":    {models.P100Profile(), gpusim.P100()},
+}
+
+// links maps interconnect names to link specs.
+var links = map[string]netsim.LinkSpec{
+	"ethernet-10g": netsim.Ethernet10G(),
+	"ethernet-20g": netsim.Ethernet20G(),
+	"ethernet-25g": netsim.Ethernet25G(),
+	"nvlink":       netsim.NVLink(),
+	"pcie3":        netsim.PCIe3x16(),
+}
+
+// presets maps Table 2 cluster names to their datapar configurations.
+var presets = map[string]datapar.Cluster{
+	"priv-a": datapar.PrivA(),
+	"priv-b": datapar.PrivB(),
+	"pub-a":  datapar.PubA(),
+}
+
+// dpMethods maps method names to datapar methods.
+var dpMethods = map[string]datapar.Method{
+	"wfbp":        datapar.WFBP,
+	"horovod":     datapar.Horovod,
+	"p3":          datapar.P3,
+	"byteps":      datapar.BytePS,
+	"ooo-byteps":  datapar.OOOBytePS,
+	"ooo-horovod": datapar.OOOHorovod,
+}
+
+// disciplines maps pipeline discipline names to pipepar schedules.
+var disciplines = map[string]pipepar.Schedule{
+	"gpipe":     pipepar.GPipe,
+	"pipedream": pipepar.PipeDream,
+	"dapple":    pipepar.DAPPLE,
+}
+
+// planSpec is the normalized, resolved form of a PlanRequest: every default
+// applied, every name canonicalized, the cluster expanded to concrete specs.
+// Its canonical JSON encoding is the fingerprint input.
+type planSpec struct {
+	Mode string `json:"mode"`
+
+	ModelName string `json:"model_name,omitempty"`
+	// ModelDigest is the sha256 of the inline model spec (inline models
+	// fingerprint by content, zoo models by name).
+	ModelDigest string `json:"model_digest,omitempty"`
+
+	GPU          string `json:"gpu"`
+	GPUs         int    `json:"gpus"`
+	GPUsPerNode  int    `json:"gpus_per_node"`
+	Interconnect string `json:"interconnect"`
+	IntraNode    string `json:"intra_node"`
+	MaxGPUs      int    `json:"-"`
+
+	Method         string `json:"method,omitempty"`
+	MaxMemoryBytes int64  `json:"max_memory_bytes,omitempty"`
+	MicroBatches   int    `json:"micro_batches,omitempty"`
+	Discipline     string `json:"discipline,omitempty"`
+	GroupSize      int    `json:"group_size,omitempty"`
+
+	// model is the resolved model (built from the zoo or decoded inline);
+	// excluded from the fingerprint (ModelName/ModelDigest stand for it).
+	model *models.Model
+	// deadlineMillis is the requested planning deadline; excluded from the
+	// fingerprint (a deadline changes how long we wait, not the plan).
+	deadlineMillis int64
+}
+
+// normalize validates req and resolves it into a planSpec. Validation errors
+// are *APIError with code invalid_request or unknown_model.
+func normalize(req *PlanRequest) (*planSpec, error) {
+	sp := &planSpec{}
+
+	sp.Mode = strings.ToLower(strings.TrimSpace(req.Mode))
+	if sp.Mode == "" {
+		sp.Mode = ModeDataPar
+	}
+	switch sp.Mode {
+	case ModeDataPar, ModePipeline, ModeSingleGPU:
+	default:
+		return nil, invalidf("mode", "unknown mode %q (want %s, %s or %s)",
+			req.Mode, ModeDataPar, ModePipeline, ModeSingleGPU)
+	}
+
+	// Cluster: start from the preset (if any), apply overrides.
+	cs := req.Cluster
+	preset := strings.ToLower(strings.TrimSpace(cs.Preset))
+	var base datapar.Cluster
+	if preset != "" {
+		var ok bool
+		base, ok = presets[preset]
+		if !ok {
+			return nil, invalidf("cluster.preset", "unknown preset %q (want priv-a, priv-b or pub-a)", cs.Preset)
+		}
+		sp.GPU = strings.ToLower(base.Profile.Name)
+		sp.GPUsPerNode = base.PerNode
+		sp.Interconnect = linkName(base.NIC)
+		sp.IntraNode = linkName(base.Intra)
+		sp.MaxGPUs = base.MaxGPUs
+	} else {
+		// Custom cluster defaults.
+		sp.GPU = "v100"
+		sp.GPUsPerNode = 1
+		sp.Interconnect = "ethernet-10g"
+		sp.IntraNode = "pcie3"
+		sp.MaxGPUs = maxCustomGPUs
+	}
+	if cs.GPU != "" {
+		sp.GPU = strings.ToLower(strings.TrimSpace(cs.GPU))
+	}
+	if _, ok := profiles[sp.GPU]; !ok {
+		return nil, invalidf("cluster.gpu", "unknown GPU %q (want v100, titanxp or p100)", cs.GPU)
+	}
+	if cs.GPUsPerNode != 0 {
+		if cs.GPUsPerNode < 1 {
+			return nil, invalidf("cluster.gpus_per_node", "must be ≥ 1, got %d", cs.GPUsPerNode)
+		}
+		sp.GPUsPerNode = cs.GPUsPerNode
+	}
+	if cs.Interconnect != "" {
+		sp.Interconnect = strings.ToLower(strings.TrimSpace(cs.Interconnect))
+	}
+	if _, ok := links[sp.Interconnect]; !ok {
+		return nil, invalidf("cluster.interconnect", "unknown link %q", cs.Interconnect)
+	}
+	if cs.IntraNode != "" {
+		sp.IntraNode = strings.ToLower(strings.TrimSpace(cs.IntraNode))
+	}
+	if _, ok := links[sp.IntraNode]; !ok {
+		return nil, invalidf("cluster.intra_node", "unknown link %q", cs.IntraNode)
+	}
+
+	sp.GPUs = cs.GPUs
+	if sp.Mode == ModeSingleGPU {
+		sp.GPUs = 1
+	} else {
+		if sp.GPUs == 0 {
+			sp.GPUs = defaultGPUs
+		}
+		if sp.GPUs < 1 {
+			return nil, invalidf("cluster.gpus", "must be ≥ 1, got %d", cs.GPUs)
+		}
+		if sp.GPUs > sp.MaxGPUs {
+			return nil, invalidf("cluster.gpus", "%d exceeds the cluster limit of %d GPUs", sp.GPUs, sp.MaxGPUs)
+		}
+	}
+
+	// Mode-specific knobs.
+	switch sp.Mode {
+	case ModeDataPar:
+		sp.Method = strings.ToLower(strings.TrimSpace(req.Method))
+		if sp.Method == "" {
+			sp.Method = "ooo-byteps"
+		}
+		if _, ok := dpMethods[sp.Method]; !ok {
+			return nil, invalidf("method", "unknown method %q", req.Method)
+		}
+		if req.MaxMemoryBytes < 0 {
+			return nil, invalidf("max_memory_bytes", "must be ≥ 0")
+		}
+		sp.MaxMemoryBytes = req.MaxMemoryBytes
+	case ModePipeline:
+		sp.MicroBatches = req.MicroBatches
+		if sp.MicroBatches == 0 {
+			sp.MicroBatches = 4
+		}
+		if sp.MicroBatches < 1 || sp.MicroBatches > maxMicroBatches {
+			return nil, invalidf("micro_batches", "must be in [1, %d], got %d", maxMicroBatches, req.MicroBatches)
+		}
+		sp.Discipline = strings.ToLower(strings.TrimSpace(req.Discipline))
+		if sp.Discipline == "" {
+			sp.Discipline = "gpipe"
+		}
+		if _, ok := disciplines[sp.Discipline]; !ok {
+			return nil, invalidf("discipline", "unknown discipline %q (want gpipe, pipedream or dapple)", req.Discipline)
+		}
+		sp.GroupSize = req.GroupSize
+		if sp.GroupSize == 0 {
+			sp.GroupSize = 1
+		}
+		if sp.GroupSize < 1 {
+			return nil, invalidf("group_size", "must be ≥ 1, got %d", req.GroupSize)
+		}
+	}
+
+	if req.TimeoutMillis < 0 {
+		return nil, invalidf("timeout_ms", "must be ≥ 0, got %d", req.TimeoutMillis)
+	}
+	sp.deadlineMillis = req.TimeoutMillis
+
+	// Model: zoo name or inline spec, never both.
+	hasName := strings.TrimSpace(req.Model) != ""
+	hasSpec := len(bytes.TrimSpace(req.ModelSpec)) > 0
+	switch {
+	case hasName && hasSpec:
+		return nil, invalidf("model", "set exactly one of model and model_spec, not both")
+	case hasName:
+		name := strings.ToLower(strings.TrimSpace(req.Model))
+		m, err := models.BuildZoo(name, profiles[sp.GPU].prof)
+		if err != nil {
+			return nil, &APIError{Code: CodeUnknownModel, Field: "model",
+				Message: fmt.Sprintf("unknown model %q; GET /v1/models lists the zoo", req.Model)}
+		}
+		sp.ModelName = name
+		sp.model = m
+	case hasSpec:
+		if len(req.ModelSpec) > maxModelSpecBytes {
+			return nil, invalidf("model_spec", "spec exceeds %d bytes", maxModelSpecBytes)
+		}
+		m, err := models.ReadJSON(bytes.NewReader(req.ModelSpec))
+		if err != nil {
+			return nil, invalidf("model_spec", "%v", err)
+		}
+		if m.Batch < 1 {
+			return nil, invalidf("model_spec", "model %q: batch must be ≥ 1, got %d", m.Name, m.Batch)
+		}
+		if len(m.Layers) > maxLayers {
+			return nil, invalidf("model_spec", "model has %d layers, limit %d", len(m.Layers), maxLayers)
+		}
+		// Layer times come from the caller's profile; the cluster profile
+		// drives only micro-batch re-derivation, so pin it for determinism.
+		m.Profile = profiles[sp.GPU].prof
+		digest := sha256.Sum256(canonicalModelJSON(req.ModelSpec))
+		sp.ModelDigest = hex.EncodeToString(digest[:])
+		sp.model = m
+	default:
+		return nil, invalidf("model", "one of model and model_spec is required")
+	}
+
+	return sp, nil
+}
+
+// canonicalModelJSON re-encodes raw JSON with insignificant whitespace
+// removed, so semantically identical inline specs share a fingerprint.
+// Invalid JSON cannot reach here (ReadJSON already accepted it).
+func canonicalModelJSON(raw json.RawMessage) []byte {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return raw
+	}
+	return buf.Bytes()
+}
+
+// fingerprint returns the canonical cache key of the normalized request:
+// sha256 over the planSpec's canonical JSON.
+func (sp *planSpec) fingerprint() string {
+	b, err := json.Marshal(sp)
+	if err != nil {
+		// planSpec is marshalable by construction.
+		panic(fmt.Errorf("plansvc: fingerprint marshal: %w", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// cluster materializes the datapar cluster of the spec.
+func (sp *planSpec) cluster() datapar.Cluster {
+	return datapar.Cluster{
+		Name:    "custom",
+		PerNode: sp.GPUsPerNode,
+		MaxGPUs: sp.MaxGPUs,
+		NIC:     links[sp.Interconnect],
+		Intra:   links[sp.IntraNode],
+		Profile: profiles[sp.GPU].prof,
+	}
+}
+
+// linkName maps a LinkSpec back to its request vocabulary name.
+func linkName(s netsim.LinkSpec) string {
+	for name, l := range links {
+		if l.Name == s.Name {
+			return name
+		}
+	}
+	return strings.ToLower(s.Name)
+}
+
+// Request hard limits.
+const (
+	defaultGPUs       = 8
+	maxCustomGPUs     = 1024
+	maxMicroBatches   = 256
+	maxLayers         = 4096
+	maxModelSpecBytes = 8 << 20
+	maxBodyBytes      = 8<<20 + 4096
+)

@@ -1,0 +1,97 @@
+package plansvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newBenchServer(b *testing.B, opts Options) (*Service, *httptest.Server) {
+	b.Helper()
+	opts.Logger = quietLogger()
+	svc := New(opts)
+	srv := httptest.NewServer(svc.Handler())
+	b.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return svc, srv
+}
+
+// BenchmarkServiceLoadgen is the closed-loop service throughput benchmark: a
+// deterministic loadgen mix (the full zoo × 3 GPU counts) against an
+// in-process server. After the first DistinctBodies(n) requests the cache is
+// warm, so this measures the steady-state serving rate the BENCH files track.
+func BenchmarkServiceLoadgen(b *testing.B) {
+	_, srv := newBenchServer(b, Options{})
+	spec := LoadSpec{BaseURL: srv.URL, Clients: 4, Requests: b.N}
+	b.ResetTimer()
+	rep, err := RunLoad(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if rep.TransportErrors > 0 {
+		b.Fatalf("%d transport errors", rep.TransportErrors)
+	}
+	if rep.StatusCounts["200"] != b.N {
+		b.Fatalf("status counts %v, want %d 200s", rep.StatusCounts, b.N)
+	}
+	b.ReportMetric(rep.OpsPerSec, "ops/s")
+	b.ReportMetric(rep.LatencyMsP95, "p95-ms")
+}
+
+// BenchmarkServiceWarmHit measures the pure cache-hit path: one body, served
+// repeatedly after the first computation.
+func BenchmarkServiceWarmHit(b *testing.B) {
+	svc, srv := newBenchServer(b, Options{})
+	body := LoadSpec{}.RequestBody(0)
+	client := srv.Client()
+	// Warm the cache outside the timed region.
+	resp, err := client.Post(srv.URL+"/v1/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(srv.URL+"/v1/plan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	b.StopTimer()
+	if n := svc.met.plansComputed.Value(); n != 1 {
+		b.Fatalf("warm-hit benchmark computed %d plans", n)
+	}
+}
+
+// BenchmarkPlanDirect measures one planner execution (no HTTP, no cache) for
+// the default loadgen request.
+func BenchmarkPlanDirect(b *testing.B) {
+	svc := New(Options{Logger: quietLogger()})
+	b.Cleanup(svc.Close)
+	var req PlanRequest
+	if err := json.Unmarshal(LoadSpec{}.RequestBody(0), &req); err != nil {
+		b.Fatal(err)
+	}
+	sp, err := normalize(&req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.planner.plan(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetAddLRU(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	// a is now most recent; adding c must evict b.
+	c.Add("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a was evicted despite being most recently used")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Len != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAddOverwrites(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("a", 9)
+	if v, _ := c.Get("a"); v != 9 {
+		t.Fatalf("Get(a) = %d, want 9", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestDoComputesOnceThenHits(t *testing.T) {
+	c := New[string, int](4)
+	calls := 0
+	fn := func() (int, error) { calls++; return 42, nil }
+	v, err, out := c.Do(context.Background(), "k", fn)
+	if v != 42 || err != nil || out != Computed {
+		t.Fatalf("first Do = %d, %v, %v", v, err, out)
+	}
+	v, err, out = c.Do(context.Background(), "k", fn)
+	if v != 42 || err != nil || out != Hit {
+		t.Fatalf("second Do = %d, %v, %v", v, err, out)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times", calls)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New[string, int](4)
+	boom := errors.New("boom")
+	_, err, _ := c.Do(context.Background(), "k", func() (int, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("error result was cached")
+	}
+	v, err, out := c.Do(context.Background(), "k", func() (int, error) { return 7, nil })
+	if v != 7 || err != nil || out != Computed {
+		t.Fatalf("retry Do = %d, %v, %v", v, err, out)
+	}
+}
+
+func TestDoCollapsesConcurrent(t *testing.T) {
+	c := New[string, int](4)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+
+	go func() {
+		c.Do(context.Background(), "k", func() (int, error) {
+			calls.Add(1)
+			close(entered)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-entered
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, waiters)
+	vals := make([]int, waiters)
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func(i int) {
+			defer wg.Done()
+			v, err, out := c.Do(context.Background(), "k", func() (int, error) {
+				calls.Add(1)
+				return 2, nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			vals[i], outcomes[i] = v, out
+		}(i)
+	}
+	// Let the waiters reach the in-flight wait, then release the leader.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times", n)
+	}
+	for i := 0; i < waiters; i++ {
+		if vals[i] != 1 {
+			t.Fatalf("waiter %d got %d, want the leader's 1", i, vals[i])
+		}
+		if outcomes[i] != Collapsed {
+			t.Fatalf("waiter %d outcome = %v", i, outcomes[i])
+		}
+	}
+	if st := c.Stats(); st.Collapsed != waiters {
+		t.Fatalf("collapsed counter = %d, want %d", st.Collapsed, waiters)
+	}
+}
+
+func TestDoWaiterHonorsContext(t *testing.T) {
+	c := New[string, int](4)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), "k", func() (int, error) {
+			close(entered)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-entered
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := c.Do(ctx, "k", func() (int, error) { return 2, nil })
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+}
+
+func TestZeroCapacityStillCollapses(t *testing.T) {
+	c := New[string, int](0)
+	v, err, out := c.Do(context.Background(), "k", func() (int, error) { return 5, nil })
+	if v != 5 || err != nil || out != Computed {
+		t.Fatalf("Do = %d, %v, %v", v, err, out)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("zero-capacity cache stored an entry")
+	}
+	// A second Do recomputes (nothing was stored).
+	_, _, out = c.Do(context.Background(), "k", func() (int, error) { return 5, nil })
+	if out != Computed {
+		t.Fatalf("second Do outcome = %v", out)
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New[int, string](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := i % 32
+				v, err, _ := c.Do(context.Background(), k, func() (string, error) {
+					return fmt.Sprint(k), nil
+				})
+				if err != nil || v != fmt.Sprint(k) {
+					t.Errorf("Do(%d) = %q, %v", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}

@@ -1,0 +1,203 @@
+package plansvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"oooback/internal/models"
+)
+
+// LoadSpec configures a deterministic closed-loop load against a running
+// service. The request *sequence* is a pure function of the spec — request i
+// always carries the same body — so runs are reproducible and cache behaviour
+// is controlled: a mix with M distinct bodies warms the cache after M
+// requests and then exercises the hit path.
+type LoadSpec struct {
+	// BaseURL targets the service ("http://127.0.0.1:8080").
+	BaseURL string
+	// Clients is the number of concurrent closed-loop clients (default 4).
+	Clients int
+	// Requests is the total request count (default 256).
+	Requests int
+	// Models is the request mix, cycled per request (default: the full zoo).
+	Models []string
+	// GPUCounts is rotated once per full model cycle (default {4, 8, 16}).
+	GPUCounts []int
+	// Preset is the cluster preset (default "pub-a").
+	Preset string
+	// Mode is the planning mode (default ModeDataPar).
+	Mode string
+	// TimeoutMillis is the per-request planning deadline (0 = server limit).
+	TimeoutMillis int64
+	// Client overrides the HTTP client (default: pooled, 2 min timeout).
+	Client *http.Client
+}
+
+func (ls LoadSpec) withDefaults() LoadSpec {
+	if ls.Clients <= 0 {
+		ls.Clients = 4
+	}
+	if ls.Requests <= 0 {
+		ls.Requests = 256
+	}
+	if len(ls.Models) == 0 {
+		ls.Models = models.ZooNames()
+	}
+	if len(ls.GPUCounts) == 0 {
+		ls.GPUCounts = []int{4, 8, 16}
+	}
+	if ls.Preset == "" {
+		ls.Preset = "pub-a"
+	}
+	if ls.Mode == "" {
+		ls.Mode = ModeDataPar
+	}
+	if ls.Client == nil {
+		ls.Client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	return ls
+}
+
+// RequestBody returns the canonical JSON body of request i in the sequence.
+func (ls LoadSpec) RequestBody(i int) []byte {
+	ls = ls.withDefaults()
+	model := ls.Models[i%len(ls.Models)]
+	gpus := ls.GPUCounts[(i/len(ls.Models))%len(ls.GPUCounts)]
+	req := PlanRequest{
+		Model:         model,
+		Mode:          ls.Mode,
+		TimeoutMillis: ls.TimeoutMillis,
+		Cluster:       ClusterSpec{Preset: ls.Preset, GPUs: gpus},
+	}
+	b, err := json.Marshal(&req)
+	if err != nil {
+		panic(fmt.Errorf("plansvc: loadgen marshal: %w", err))
+	}
+	return b
+}
+
+// DistinctBodies returns how many distinct request bodies the sequence of n
+// requests contains (== the number of plans the service must compute).
+func (ls LoadSpec) DistinctBodies(n int) int {
+	ls = ls.withDefaults()
+	distinct := len(ls.Models) * len(ls.GPUCounts)
+	if n < distinct {
+		return n
+	}
+	return distinct
+}
+
+// LoadReport aggregates one load run.
+type LoadReport struct {
+	Requests  int     `json:"requests"`
+	Clients   int     `json:"clients"`
+	DurationS float64 `json:"duration_s"`
+	// OpsPerSec is completed requests (any status) per wall second — the
+	// service-level closed-loop throughput.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// StatusCounts histograms HTTP status codes ("200", "429", ...).
+	StatusCounts map[string]int `json:"status_counts"`
+	// Outcomes histograms the X-Plan-Outcome header (hit/computed/collapsed).
+	Outcomes map[string]int `json:"outcomes"`
+	// TransportErrors counts requests that failed below HTTP.
+	TransportErrors int `json:"transport_errors"`
+
+	LatencyMsP50 float64 `json:"latency_ms_p50"`
+	LatencyMsP95 float64 `json:"latency_ms_p95"`
+	LatencyMsP99 float64 `json:"latency_ms_p99"`
+	LatencyMsMax float64 `json:"latency_ms_max"`
+}
+
+// RunLoad drives the closed loop: each client owns the request indices
+// congruent to its id modulo Clients and issues them back-to-back. Per-index
+// result slots make the collection lock-free and the aggregation
+// deterministic.
+func RunLoad(spec LoadSpec) (*LoadReport, error) {
+	ls := spec.withDefaults()
+	if ls.BaseURL == "" {
+		return nil, fmt.Errorf("plansvc: loadgen needs a BaseURL")
+	}
+	n := ls.Requests
+	type slot struct {
+		status  int
+		outcome string
+		latency time.Duration
+		err     error
+	}
+	slots := make([]slot, n)
+
+	start := time.Now()
+	done := make(chan struct{})
+	for c := 0; c < ls.Clients; c++ {
+		go func(c int) {
+			defer func() { done <- struct{}{} }()
+			for i := c; i < n; i += ls.Clients {
+				body := ls.RequestBody(i)
+				t0 := time.Now()
+				resp, err := ls.Client.Post(ls.BaseURL+"/v1/plan", "application/json", bytes.NewReader(body))
+				slots[i].latency = time.Since(t0)
+				if err != nil {
+					slots[i].err = err
+					continue
+				}
+				slots[i].status = resp.StatusCode
+				slots[i].outcome = resp.Header.Get(HeaderOutcome)
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	for c := 0; c < ls.Clients; c++ {
+		<-done
+	}
+	wall := time.Since(start)
+
+	rep := &LoadReport{
+		Requests:     n,
+		Clients:      ls.Clients,
+		DurationS:    wall.Seconds(),
+		StatusCounts: map[string]int{},
+		Outcomes:     map[string]int{},
+	}
+	lats := make([]float64, 0, n)
+	for _, s := range slots {
+		if s.err != nil {
+			rep.TransportErrors++
+			continue
+		}
+		rep.StatusCounts[fmt.Sprint(s.status)]++
+		if s.outcome != "" {
+			rep.Outcomes[s.outcome]++
+		}
+		lats = append(lats, float64(s.latency.Microseconds())/1000)
+	}
+	if wall > 0 {
+		rep.OpsPerSec = float64(n-rep.TransportErrors) / wall.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		rep.LatencyMsP50 = percentile(lats, 0.50)
+		rep.LatencyMsP95 = percentile(lats, 0.95)
+		rep.LatencyMsP99 = percentile(lats, 0.99)
+		rep.LatencyMsMax = lats[len(lats)-1]
+	}
+	return rep, nil
+}
+
+// percentile returns the nearest-rank percentile of sorted samples.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,251 @@
+// Package metrics is a small, dependency-free instrumentation set for the
+// planning service: counters, gauges and fixed-bucket histograms collected in
+// a registry that can render itself as plaintext exposition (Prometheus text
+// format, served at /metrics) and as an expvar-compatible JSON object
+// (served at /debug/vars).
+//
+// All instruments are safe for concurrent use and update with a single atomic
+// operation on the hot path.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0; negative deltas are ignored to keep the counter
+// monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value.
+type Gauge struct {
+	v    atomic.Int64
+	name string
+	help string
+	fn   func() int64 // optional: sampled at scrape time
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value (or the sampling function's result).
+func (g *Gauge) Value() int64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram of float64 observations.
+type Histogram struct {
+	name    string
+	help    string
+	bounds  []float64      // upper bounds, ascending; implicit +Inf last
+	buckets []atomic.Int64 // len(bounds)+1
+	count   atomic.Int64
+	sum     atomic.Int64 // sum scaled by sumScale to stay integral
+}
+
+// sumScale keeps histogram sums integral at nanosecond-ish precision when
+// observations are seconds.
+const sumScale = 1e9
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(v * sumScale))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return float64(h.sum.Load()) / sumScale }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the containing bucket, the standard Prometheus histogram_quantile
+// estimator. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	lower := 0.0
+	for i, b := range h.bounds {
+		n := h.buckets[i].Load()
+		if float64(cum)+float64(n) >= rank {
+			if n == 0 {
+				return b
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + frac*(b-lower)
+		}
+		cum += n
+		lower = b
+	}
+	// In the overflow bucket: report the largest finite bound.
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return math.Inf(1)
+}
+
+// DefLatencyBuckets are log-spaced latency buckets in seconds, 100 µs – 30 s.
+func DefLatencyBuckets() []float64 {
+	return []float64{
+		1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+		1e-1, 2.5e-1, 5e-1, 1, 2.5, 5, 10, 30,
+	}
+}
+
+// Registry holds a namespace's instruments in registration order.
+type Registry struct {
+	mu         sync.Mutex
+	namespace  string
+	counters   []*Counter
+	gauges     []*Gauge
+	histograms []*Histogram
+}
+
+// NewRegistry returns an empty registry; namespace prefixes every exposed
+// metric name ("plansvc" → "plansvc_requests_total").
+func NewRegistry(namespace string) *Registry {
+	return &Registry{namespace: namespace}
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.mu.Lock()
+	r.counters = append(r.counters, c)
+	r.mu.Unlock()
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.mu.Lock()
+	r.gauges = append(r.gauges, g)
+	r.mu.Unlock()
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at scrape time
+// (queue depths, cache sizes).
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) *Gauge {
+	g := &Gauge{name: name, help: help, fn: fn}
+	r.mu.Lock()
+	r.gauges = append(r.gauges, g)
+	r.mu.Unlock()
+	return g
+}
+
+// Histogram registers and returns a new histogram with the given ascending
+// upper bounds (nil → DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets()
+	}
+	h := &Histogram{name: name, help: help, bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+	r.mu.Lock()
+	r.histograms = append(r.histograms, h)
+	r.mu.Unlock()
+	return h
+}
+
+func (r *Registry) qualify(name string) string {
+	if r.namespace == "" {
+		return name
+	}
+	return r.namespace + "_" + name
+}
+
+// WritePrometheus renders every instrument in the Prometheus text exposition
+// format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		n := r.qualify(c.name)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", n, c.help, n, n, c.Value())
+	}
+	for _, g := range r.gauges {
+		n := r.qualify(g.name)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", n, g.help, n, n, g.Value())
+	}
+	for _, h := range r.histograms {
+		n := r.qualify(h.name)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", n, h.help, n)
+		var cum int64
+		for i, b := range h.bounds {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, formatBound(b), cum)
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, h.Sum(), n, h.Count())
+	}
+}
+
+// Snapshot returns every instrument's current value keyed by qualified name;
+// histograms contribute _count, _sum and estimated p50/p95/p99. The map is
+// what /debug/vars embeds.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any)
+	for _, c := range r.counters {
+		out[r.qualify(c.name)] = c.Value()
+	}
+	for _, g := range r.gauges {
+		out[r.qualify(g.name)] = g.Value()
+	}
+	for _, h := range r.histograms {
+		n := r.qualify(h.name)
+		out[n+"_count"] = h.Count()
+		out[n+"_sum"] = h.Sum()
+		out[n+"_p50"] = h.Quantile(0.50)
+		out[n+"_p95"] = h.Quantile(0.95)
+		out[n+"_p99"] = h.Quantile(0.99)
+	}
+	return out
+}
+
+func formatBound(b float64) string {
+	s := fmt.Sprintf("%g", b)
+	// Prometheus conventionally renders integral bounds as "1.0".
+	if !strings.ContainsAny(s, ".e") {
+		s += ".0"
+	}
+	return s
+}

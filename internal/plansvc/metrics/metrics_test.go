@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterMonotone(t *testing.T) {
+	r := NewRegistry("t")
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+}
+
+func TestGaugeSetAddAndFunc(t *testing.T) {
+	r := NewRegistry("t")
+	g := r.Gauge("depth", "queue depth")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("Value = %d", g.Value())
+	}
+	gf := r.GaugeFunc("sampled", "sampled at scrape", func() int64 { return 99 })
+	if gf.Value() != 99 {
+		t.Fatalf("GaugeFunc Value = %d", gf.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry("t")
+	h := r.Histogram("lat", "latency", []float64{0.1, 0.2, 0.4, 0.8})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.15) // all in the (0.1, 0.2] bucket
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-15.0) > 0.01 {
+		t.Fatalf("Sum = %g", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.1 || p50 > 0.2 {
+		t.Fatalf("p50 = %g outside the observed bucket", p50)
+	}
+	// Empty histogram quantile is 0.
+	h2 := r.Histogram("empty", "", nil)
+	if h2.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	r := NewRegistry("t")
+	h := r.Histogram("lat", "latency", []float64{1, 2})
+	h.Observe(100) // overflow
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if q := h.Quantile(0.99); q != 2 {
+		t.Fatalf("overflow quantile = %g, want the largest finite bound 2", q)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry("svc")
+	c := r.Counter("requests_total", "total requests")
+	c.Add(3)
+	g := r.Gauge("queue_depth", "jobs waiting")
+	g.Set(2)
+	h := r.Histogram("latency_seconds", "latency", []float64{0.5, 1})
+	h.Observe(0.3)
+	h.Observe(0.7)
+	h.Observe(5)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE svc_requests_total counter",
+		"svc_requests_total 3",
+		"# TYPE svc_queue_depth gauge",
+		"svc_queue_depth 2",
+		"# TYPE svc_latency_seconds histogram",
+		`svc_latency_seconds_bucket{le="0.5"} 1`,
+		`svc_latency_seconds_bucket{le="1.0"} 2`,
+		`svc_latency_seconds_bucket{le="+Inf"} 3`,
+		"svc_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry("svc")
+	r.Counter("a_total", "").Add(2)
+	h := r.Histogram("lat_seconds", "", nil)
+	h.Observe(0.01)
+	snap := r.Snapshot()
+	if snap["svc_a_total"] != int64(2) {
+		t.Fatalf("snapshot a_total = %v", snap["svc_a_total"])
+	}
+	if snap["svc_lat_seconds_count"] != int64(1) {
+		t.Fatalf("snapshot count = %v", snap["svc_lat_seconds_count"])
+	}
+	if _, ok := snap["svc_lat_seconds_p99"]; !ok {
+		t.Fatal("snapshot missing p99")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry("t")
+	c := r.Counter("n_total", "")
+	h := r.Histogram("lat", "", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("counter = %d, histogram count = %d", c.Value(), h.Count())
+	}
+}

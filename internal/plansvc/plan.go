@@ -1,0 +1,235 @@
+package plansvc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"oooback/internal/core"
+	"oooback/internal/datapar"
+	"oooback/internal/graph"
+	"oooback/internal/models"
+	"oooback/internal/pipepar"
+	"oooback/internal/singlegpu"
+)
+
+// planner computes plans. It holds a pool of warm core.IterScratch state so
+// steady-state planning performs no per-request simulator allocation: the
+// concave k search fans its coarse probes out through internal/parexec, and
+// every probe borrows a scratch from the pool.
+type planner struct {
+	// searchWorkers bounds the parexec fan-out of one k search.
+	searchWorkers int
+	scratch       sync.Pool // *core.IterScratch
+}
+
+func newPlanner(searchWorkers int) *planner {
+	if searchWorkers < 1 {
+		searchWorkers = 1
+	}
+	return &planner{
+		searchWorkers: searchWorkers,
+		scratch:       sync.Pool{New: func() any { return new(core.IterScratch) }},
+	}
+}
+
+// plan dispatches on the normalized spec's mode. The returned response is a
+// pure function of sp (see PlanResponse).
+func (p *planner) plan(sp *planSpec) (*PlanResponse, error) {
+	resp := &PlanResponse{
+		Fingerprint: sp.fingerprint(),
+		Mode:        sp.Mode,
+		Model: ModelSummary{
+			Name:       sp.model.Name,
+			Layers:     sp.model.NumLayers(),
+			Batch:      sp.model.Batch,
+			ParamBytes: sp.model.TotalParamBytes(),
+		},
+	}
+	var err error
+	switch sp.Mode {
+	case ModeDataPar:
+		err = p.planDataPar(sp, resp)
+	case ModePipeline:
+		err = p.planPipeline(sp, resp)
+	case ModeSingleGPU:
+		err = p.planSingleGPU(sp, resp)
+	default:
+		err = fmt.Errorf("plansvc: unhandled mode %q", sp.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// discipline returns the communication-channel behaviour of a data-parallel
+// method (mirrors datapar.Run's switch).
+func discipline(m datapar.Method) (prio func(int) int, preemptive bool) {
+	switch m {
+	case datapar.P3:
+		return func(layer int) int { return layer }, false
+	case datapar.BytePS, datapar.OOOBytePS:
+		return func(layer int) int { return layer }, true
+	default: // WFBP, Horovod, OOOHorovod: FIFO, run to completion
+		return func(int) int { return 0 }, false
+	}
+}
+
+// planDataPar plans one data-parallel iteration: reverse first-k (Algorithm
+// 2) with the §5.1 concave search for k, under the requested synchronization
+// method's cost model and channel discipline. The baseline is the
+// conventional backward order under the same method.
+func (p *planner) planDataPar(sp *planSpec, resp *PlanResponse) error {
+	m := sp.model
+	L := len(m.Layers)
+	method := dpMethods[sp.Method]
+	costs := datapar.Costs(m, sp.cluster(), sp.GPUs, method)
+	prio, preemptive := discipline(method)
+
+	sc := p.scratch.Get().(*core.IterScratch)
+	base := sc.SimulateIteration(costs, graph.Conventional(L), prio, preemptive)
+	p.scratch.Put(sc)
+
+	measure := func(k int) float64 {
+		sc := p.scratch.Get().(*core.IterScratch)
+		defer p.scratch.Put(sc)
+		order := core.ReverseFirstK(m, k, sp.MaxMemoryBytes)
+		r := sc.SimulateIteration(costs, order, prio, preemptive)
+		return core.Throughput(r.Makespan, m.Batch)
+	}
+	k := core.SearchKParallel(L, p.searchWorkers, measure)
+	order := core.ReverseFirstK(m, k, sp.MaxMemoryBytes)
+
+	sc = p.scratch.Get().(*core.IterScratch)
+	r := sc.SimulateIteration(costs, order, prio, preemptive)
+	p.scratch.Put(sc)
+
+	resp.K = k
+	resp.Schedule = scheduleStrings(order)
+	resp.IterTimeNs = int64(r.Makespan)
+	resp.BaselineIterTimeNs = int64(base.Makespan)
+	resp.Baseline = sp.Method + " conventional order"
+	resp.Speedup = speedup(base.Makespan, r.Makespan)
+	resp.ThroughputSPS = core.Throughput(r.Makespan, m.Batch*sp.GPUs)
+	return nil
+}
+
+// planPipeline plans one pipeline-parallel iteration: gradient
+// fast-forwarding plus modulo layer allocation (§5.2). The baseline is the
+// conventional balanced-contiguous partition without fast-forwarding under
+// the same discipline.
+func (p *planner) planPipeline(sp *planSpec, resp *PlanResponse) error {
+	m := sp.model
+	L := len(m.Layers)
+	n := sp.GPUs
+	if n > L {
+		return invalidf("cluster.gpus", "%d pipeline stages exceed the model's %d layers", n, L)
+	}
+	// The inter-stage link: intra-node when the whole pipeline fits on one
+	// machine, the NIC otherwise (the datapar.SyncTime convention).
+	link := links[sp.IntraNode]
+	if n > sp.GPUsPerNode {
+		link = links[sp.Interconnect]
+	}
+	sched := disciplines[sp.Discipline]
+	alloc := core.ModuloAllocation(L, n, sp.GroupSize)
+	cfg := pipepar.Config{
+		GPUs:         n,
+		MicroBatches: sp.MicroBatches,
+		Alloc:        alloc,
+		FastForward:  true,
+		Schedule:     sched,
+		MaxVersions:  4,
+		Link:         link,
+		Iterations:   3,
+	}
+	r := pipepar.Run(m, cfg)
+
+	baseCfg := cfg
+	baseCfg.Alloc = pipepar.BalancedContiguous(m, n)
+	baseCfg.FastForward = false
+	base := pipepar.Run(m, baseCfg)
+
+	resp.Allocation = alloc
+	resp.Schedule = scheduleStrings(core.FastForward(L))
+	resp.IterTimeNs = int64(r.Period)
+	resp.BaselineIterTimeNs = int64(base.Period)
+	resp.Baseline = sp.Discipline + " balanced-contiguous, no fast-forwarding"
+	resp.Speedup = speedup(base.Period, r.Period)
+	resp.ThroughputSPS = r.Throughput
+	return nil
+}
+
+// planSingleGPU plans one single-GPU iteration: multi-region joint
+// scheduling (Algorithm 1) of the δW kernels onto the sub-stream, as the
+// OOO-XLA executor applies it. The baseline is plain XLA.
+func (p *planner) planSingleGPU(sp *planSpec, resp *PlanResponse) error {
+	m := sp.model
+	cfg := profiles[sp.GPU].cfg
+	r := singlegpu.Run(m, singlegpu.OOOXLA(), cfg)
+	if r.OOM {
+		return &APIError{Code: CodeInvalidRequest, Field: "model",
+			Message: fmt.Sprintf("model %q does not fit on a %s (%d MB needed, %d MB available)",
+				m.Name, cfg.Name, r.PeakMemBytes>>20, cfg.MemoryBytes>>20)}
+	}
+	base := singlegpu.Run(m, singlegpu.XLA(), cfg)
+
+	if r.Plan != nil {
+		resp.Regions = r.Plan.Regions
+		resp.Overflow = r.Plan.Overflow
+		resp.Schedule = scheduleStrings(singlegpu.InducedBackwardOrder(m, r.Plan))
+	}
+	resp.IterTimeNs = int64(r.IterTime)
+	resp.BaselineIterTimeNs = int64(base.IterTime)
+	resp.Baseline = "XLA single-stream"
+	resp.Speedup = speedup(base.IterTime, r.IterTime)
+	resp.ThroughputSPS = r.Throughput
+	return nil
+}
+
+func scheduleStrings(order graph.BackwardSchedule) []string {
+	out := make([]string, len(order))
+	for i, op := range order {
+		out[i] = op.String()
+	}
+	return out
+}
+
+func speedup(base, opt time.Duration) float64 {
+	if opt <= 0 {
+		return 0
+	}
+	return float64(base) / float64(opt)
+}
+
+// buildModels renders the GET /v1/models payload once; entries are profile-
+// independent summaries built against the V100 profile.
+var buildModels = sync.OnceValue(func() []ZooModelInfo {
+	p := models.V100Profile()
+	var out []ZooModelInfo
+	for _, e := range models.Zoo() {
+		m := e.Build(p)
+		out = append(out, ZooModelInfo{
+			Name:       e.Name,
+			Title:      e.Title,
+			Layers:     m.NumLayers(),
+			Blocks:     len(m.Blocks()),
+			Batch:      m.Batch,
+			SeqLen:     m.SeqLen,
+			ParamBytes: m.TotalParamBytes(),
+		})
+	}
+	return out
+})
+
+// ZooModelInfo is one entry of the GET /v1/models response.
+type ZooModelInfo struct {
+	Name       string `json:"name"`
+	Title      string `json:"title"`
+	Layers     int    `json:"layers"`
+	Blocks     int    `json:"blocks"`
+	Batch      int    `json:"batch"`
+	SeqLen     int    `json:"seq_len,omitempty"`
+	ParamBytes int64  `json:"param_bytes"`
+}

@@ -1,0 +1,282 @@
+package plansvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"oooback/internal/graph"
+	"oooback/internal/models"
+)
+
+func mustNormalize(t *testing.T, req *PlanRequest) *planSpec {
+	t.Helper()
+	sp, err := normalize(req)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return sp
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	sp := mustNormalize(t, &PlanRequest{Model: "resnet50"})
+	if sp.Mode != ModeDataPar || sp.Method != "ooo-byteps" {
+		t.Fatalf("defaults: mode=%q method=%q", sp.Mode, sp.Method)
+	}
+	if sp.GPUs != defaultGPUs || sp.GPU != "v100" {
+		t.Fatalf("defaults: gpus=%d gpu=%q", sp.GPUs, sp.GPU)
+	}
+	if sp.model == nil || sp.ModelName != "resnet50" {
+		t.Fatal("model not resolved")
+	}
+}
+
+func TestNormalizePresetExpansion(t *testing.T) {
+	sp := mustNormalize(t, &PlanRequest{Model: "bert12",
+		Cluster: ClusterSpec{Preset: "priv-a", GPUs: 4}})
+	if sp.GPU != "titanxp" || sp.Interconnect != "ethernet-10g" || sp.GPUsPerNode != 1 {
+		t.Fatalf("preset expansion: %+v", sp)
+	}
+	// Overrides win over the preset.
+	sp = mustNormalize(t, &PlanRequest{Model: "bert12",
+		Cluster: ClusterSpec{Preset: "priv-a", GPUs: 4, GPU: "v100"}})
+	if sp.GPU != "v100" {
+		t.Fatalf("override lost: gpu=%q", sp.GPU)
+	}
+}
+
+func TestNormalizeRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		req   PlanRequest
+		field string
+		code  string
+	}{
+		{"no model", PlanRequest{}, "model", CodeInvalidRequest},
+		{"unknown model", PlanRequest{Model: "alexnet"}, "model", CodeUnknownModel},
+		{"both model and spec", PlanRequest{Model: "resnet50", ModelSpec: json.RawMessage(`{}`)}, "model", CodeInvalidRequest},
+		{"bad mode", PlanRequest{Model: "resnet50", Mode: "tensor-parallel"}, "mode", CodeInvalidRequest},
+		{"bad method", PlanRequest{Model: "resnet50", Method: "nccl"}, "method", CodeInvalidRequest},
+		{"bad preset", PlanRequest{Model: "resnet50", Cluster: ClusterSpec{Preset: "priv-z"}}, "cluster.preset", CodeInvalidRequest},
+		{"bad gpu", PlanRequest{Model: "resnet50", Cluster: ClusterSpec{GPU: "h100"}}, "cluster.gpu", CodeInvalidRequest},
+		{"bad link", PlanRequest{Model: "resnet50", Cluster: ClusterSpec{Interconnect: "infiniband"}}, "cluster.interconnect", CodeInvalidRequest},
+		{"negative gpus", PlanRequest{Model: "resnet50", Cluster: ClusterSpec{GPUs: -1}}, "cluster.gpus", CodeInvalidRequest},
+		{"over preset limit", PlanRequest{Model: "resnet50", Cluster: ClusterSpec{Preset: "priv-a", GPUs: 9}}, "cluster.gpus", CodeInvalidRequest},
+		{"bad discipline", PlanRequest{Model: "resnet50", Mode: ModePipeline, Discipline: "chimera"}, "discipline", CodeInvalidRequest},
+		{"bad micro batches", PlanRequest{Model: "resnet50", Mode: ModePipeline, MicroBatches: -2}, "micro_batches", CodeInvalidRequest},
+		{"negative timeout", PlanRequest{Model: "resnet50", TimeoutMillis: -5}, "timeout_ms", CodeInvalidRequest},
+		{"malformed spec", PlanRequest{ModelSpec: json.RawMessage(`{"Layers": "nope"}`)}, "model_spec", CodeInvalidRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := normalize(&tc.req)
+			apiErr, ok := err.(*APIError)
+			if !ok {
+				t.Fatalf("err = %v (%T), want *APIError", err, err)
+			}
+			if apiErr.Code != tc.code || apiErr.Field != tc.field {
+				t.Fatalf("got code=%q field=%q, want code=%q field=%q",
+					apiErr.Code, apiErr.Field, tc.code, tc.field)
+			}
+		})
+	}
+}
+
+func TestFingerprintStableAndCanonical(t *testing.T) {
+	a := mustNormalize(t, &PlanRequest{Model: "resnet50", Cluster: ClusterSpec{Preset: "pub-a", GPUs: 16}})
+	b := mustNormalize(t, &PlanRequest{Model: "ResNet50", Cluster: ClusterSpec{Preset: "PUB-A", GPUs: 16}})
+	if a.fingerprint() != b.fingerprint() {
+		t.Fatal("case differences changed the fingerprint")
+	}
+	// Explicit defaults fingerprint like omitted ones.
+	c := mustNormalize(t, &PlanRequest{Model: "resnet50", Mode: "datapar", Method: "ooo-byteps",
+		Cluster: ClusterSpec{Preset: "pub-a", GPUs: 16}})
+	if a.fingerprint() != c.fingerprint() {
+		t.Fatal("explicit defaults changed the fingerprint")
+	}
+	// A deadline changes how long we wait, not what we plan.
+	d := mustNormalize(t, &PlanRequest{Model: "resnet50", TimeoutMillis: 5000,
+		Cluster: ClusterSpec{Preset: "pub-a", GPUs: 16}})
+	if a.fingerprint() != d.fingerprint() {
+		t.Fatal("timeout changed the fingerprint")
+	}
+}
+
+func TestFingerprintSeparates(t *testing.T) {
+	base := &PlanRequest{Model: "resnet50", Cluster: ClusterSpec{Preset: "pub-a", GPUs: 16}}
+	variants := []*PlanRequest{
+		{Model: "resnet101", Cluster: ClusterSpec{Preset: "pub-a", GPUs: 16}},
+		{Model: "resnet50", Cluster: ClusterSpec{Preset: "pub-a", GPUs: 8}},
+		{Model: "resnet50", Cluster: ClusterSpec{Preset: "priv-b", GPUs: 16}},
+		{Model: "resnet50", Method: "byteps", Cluster: ClusterSpec{Preset: "pub-a", GPUs: 16}},
+		{Model: "resnet50", Mode: ModePipeline, Cluster: ClusterSpec{Preset: "pub-a", GPUs: 16}},
+	}
+	fp := mustNormalize(t, base).fingerprint()
+	for i, v := range variants {
+		if got := mustNormalize(t, v).fingerprint(); got == fp {
+			t.Fatalf("variant %d collided with base", i)
+		}
+	}
+}
+
+func TestInlineModelFingerprintByContent(t *testing.T) {
+	m := models.ResNet(models.V100Profile(), 50, 128, models.ImageNet)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pretty := buf.Bytes()
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, pretty); err != nil {
+		t.Fatal(err)
+	}
+	a := mustNormalize(t, &PlanRequest{ModelSpec: pretty})
+	b := mustNormalize(t, &PlanRequest{ModelSpec: compact.Bytes()})
+	if a.fingerprint() != b.fingerprint() {
+		t.Fatal("whitespace-only spec difference changed the fingerprint")
+	}
+	if a.ModelDigest == "" {
+		t.Fatal("inline model digest not set")
+	}
+}
+
+func TestPlanDataPar(t *testing.T) {
+	p := newPlanner(1)
+	sp := mustNormalize(t, &PlanRequest{Model: "resnet50",
+		Cluster: ClusterSpec{Preset: "pub-a", GPUs: 16}})
+	resp, err := p.plan(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := sp.model.NumLayers()
+	if len(resp.Schedule) != 2*L {
+		t.Fatalf("schedule has %d ops, want %d", len(resp.Schedule), 2*L)
+	}
+	if resp.IterTimeNs <= 0 || resp.BaselineIterTimeNs <= 0 {
+		t.Fatalf("times: %d vs %d", resp.IterTimeNs, resp.BaselineIterTimeNs)
+	}
+	// The searched schedule must never lose to the conventional order it was
+	// searched against (k = 0 reproduces it).
+	if resp.Speedup < 1.0 {
+		t.Fatalf("speedup %v < 1 against the conventional order", resp.Speedup)
+	}
+	if resp.ThroughputSPS <= 0 {
+		t.Fatalf("throughput = %v", resp.ThroughputSPS)
+	}
+}
+
+func TestPlanSchedulesAreValid(t *testing.T) {
+	p := newPlanner(1)
+	for _, mode := range []string{ModeDataPar, ModePipeline, ModeSingleGPU} {
+		sp := mustNormalize(t, &PlanRequest{Model: "densenet121", Mode: mode,
+			Cluster: ClusterSpec{Preset: "pub-a", GPUs: 4}})
+		resp, err := p.plan(sp)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if mode == ModeSingleGPU && len(resp.Schedule) == 0 {
+			// Single-GPU plans may omit the induced order only if Algorithm 1
+			// produced no sub-stream plan — which would itself be a failure.
+			t.Fatalf("%s: empty schedule", mode)
+		}
+		order := parseSchedule(t, resp.Schedule)
+		if err := order.Validate(sp.model.NumLayers()); err != nil {
+			t.Fatalf("%s: invalid schedule: %v", mode, err)
+		}
+	}
+}
+
+// parseSchedule converts response op strings back into a BackwardSchedule.
+func parseSchedule(t *testing.T, ops []string) graph.BackwardSchedule {
+	t.Helper()
+	out := make(graph.BackwardSchedule, 0, len(ops))
+	for _, s := range ops {
+		var kind graph.OpKind
+		var layerStr string
+		switch {
+		case strings.HasPrefix(s, "dO"):
+			kind, layerStr = graph.OutGrad, s[2:]
+		case strings.HasPrefix(s, "dW"):
+			kind, layerStr = graph.WeightGrad, s[2:]
+		default:
+			t.Fatalf("unparseable op %q", s)
+		}
+		layer, err := strconv.Atoi(layerStr)
+		if err != nil {
+			t.Fatalf("unparseable layer in %q: %v", s, err)
+		}
+		out = append(out, graph.Op{Kind: kind, Layer: layer})
+	}
+	return out
+}
+
+func TestPlanPipeline(t *testing.T) {
+	p := newPlanner(1)
+	sp := mustNormalize(t, &PlanRequest{Model: "bert12", Mode: ModePipeline,
+		Cluster: ClusterSpec{Preset: "pub-a", GPUs: 4}})
+	resp, err := p.plan(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := sp.model.NumLayers()
+	if len(resp.Allocation) != L {
+		t.Fatalf("allocation covers %d layers, want %d", len(resp.Allocation), L)
+	}
+	for i, g := range resp.Allocation {
+		if want := (i / sp.GroupSize) % sp.GPUs; g != want {
+			t.Fatalf("allocation[%d] = %d, want modulo %d", i, g, want)
+		}
+	}
+	if resp.IterTimeNs <= 0 || resp.BaselineIterTimeNs <= 0 {
+		t.Fatalf("times: %d vs %d", resp.IterTimeNs, resp.BaselineIterTimeNs)
+	}
+}
+
+func TestPlanPipelineTooManyStages(t *testing.T) {
+	p := newPlanner(1)
+	sp := mustNormalize(t, &PlanRequest{Model: "rnn", Mode: ModePipeline,
+		Cluster: ClusterSpec{GPUs: 1000}})
+	_, err := p.plan(sp)
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Code != CodeInvalidRequest {
+		t.Fatalf("err = %v, want invalid_request", err)
+	}
+}
+
+func TestPlanSingleGPU(t *testing.T) {
+	p := newPlanner(1)
+	sp := mustNormalize(t, &PlanRequest{Model: "densenet121", Mode: ModeSingleGPU})
+	resp, err := p.plan(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Regions) == 0 {
+		t.Fatal("no regions in the Algorithm 1 plan")
+	}
+	if resp.Speedup <= 1.0 {
+		t.Fatalf("OOO-XLA speedup %v ≤ 1 vs XLA on DenseNet-121", resp.Speedup)
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	p := newPlanner(4) // parallel search must not change the result
+	req := &PlanRequest{Model: "resnet101", Cluster: ClusterSpec{Preset: "pub-a", GPUs: 32}}
+	var first []byte
+	for i := 0; i < 3; i++ {
+		resp, err := p.plan(mustNormalize(t, req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = b
+		} else if !bytes.Equal(first, b) {
+			t.Fatalf("plan %d differs from the first:\n%s\nvs\n%s", i, first, b)
+		}
+	}
+}

@@ -1,0 +1,379 @@
+// Package plansvc is the schedule-planning service: a production-grade HTTP
+// API over the paper's scheduling algorithms. POST /v1/plan accepts a model
+// (zoo name or inline layer-cost profile) plus a cluster description and
+// returns the optimized backward schedule — reverse first-k, multi-region
+// joint scheduling, or fast-forwarding + modulo allocation depending on mode
+// — with the predicted iteration time and speedup over the conventional
+// order.
+//
+// The request path layers, outside-in:
+//
+//	validation (typed error envelopes)
+//	→ canonical fingerprinting (planSpec → sha256)
+//	→ bounded LRU plan cache with singleflight collapse (plansvc/cache)
+//	→ bounded admission queue (load shed: 429 + Retry-After)
+//	→ worker pool with warm core.IterScratch state (sync.Pool + parexec)
+//
+// Metrics (counters, gauges, latency histograms) are exported at /metrics
+// (plaintext) and /debug/vars (expvar JSON); requests emit structured logs.
+// Close drains the workers for graceful shutdown.
+package plansvc
+
+import (
+	"context"
+	"log/slog"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oooback/internal/parexec"
+	"oooback/internal/plansvc/cache"
+	"oooback/internal/plansvc/metrics"
+)
+
+// Options configures a Service. The zero value means defaults everywhere.
+type Options struct {
+	// Workers is the planner worker-pool size (default: GOMAXPROCS, max 8).
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue sheds with 429
+	// (default 64).
+	QueueDepth int
+	// CacheSize bounds the plan LRU (default 512 entries).
+	CacheSize int
+	// SearchWorkers bounds the parexec fan-out inside one k search
+	// (default: GOMAXPROCS / Workers, at least 1).
+	SearchWorkers int
+	// MaxPlanTime caps the server-side planning deadline; request timeouts
+	// above it are clamped (default 30s).
+	MaxPlanTime time.Duration
+	// Logger receives structured request logs (default: slog.Default).
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = parexec.Default()
+		if o.Workers > 8 {
+			o.Workers = 8
+		}
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 512
+	}
+	if o.SearchWorkers <= 0 {
+		o.SearchWorkers = parexec.Default() / o.Workers
+		if o.SearchWorkers < 1 {
+			o.SearchWorkers = 1
+		}
+	}
+	if o.MaxPlanTime <= 0 {
+		o.MaxPlanTime = 30 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// Service is the planning service. Construct with New, serve via Handler,
+// release with Close.
+type Service struct {
+	opts    Options
+	log     *slog.Logger
+	planner *planner
+	// planFn computes one plan; defaults to planner.plan. Tests swap it to
+	// make worker occupancy deterministic.
+	planFn func(*planSpec) (*PlanResponse, error)
+	cache  *cache.Cache[string, *cachedPlan]
+
+	queue chan *job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	// ewmaPlanNs tracks recent planning latency for Retry-After estimates.
+	ewmaPlanNs atomic.Int64
+	start      time.Time
+	reqSeq     atomic.Int64
+
+	reg *metrics.Registry
+	met serviceMetrics
+}
+
+// serviceMetrics is the instrument set of the service.
+type serviceMetrics struct {
+	requests      *metrics.Counter
+	plansComputed *metrics.Counter
+	planErrors    *metrics.Counter
+	planPanics    *metrics.Counter
+	cacheHits     *metrics.Counter
+	collapsed     *metrics.Counter
+	shed          *metrics.Counter
+	deadline      *metrics.Counter
+	badRequests   *metrics.Counter
+	queueDepth    *metrics.Gauge
+	inflight      *metrics.Gauge
+	cacheLen      *metrics.Gauge
+	planLatency   *metrics.Histogram
+	reqLatency    *metrics.Histogram
+}
+
+// cachedPlan is the cache value: the response and its serialized body, so
+// hits serve stored bytes with zero planning or encoding work.
+type cachedPlan struct {
+	resp *PlanResponse
+	body []byte
+}
+
+// job is one admitted planning request.
+type job struct {
+	sp   *planSpec
+	ctx  context.Context
+	done chan jobResult // buffered(1): workers never block on abandoned jobs
+}
+
+type jobResult struct {
+	entry *cachedPlan
+	err   error
+}
+
+// New constructs a Service and starts its worker pool.
+func New(opts Options) *Service {
+	opts = opts.withDefaults()
+	s := &Service{
+		opts:    opts,
+		log:     opts.Logger,
+		planner: newPlanner(opts.SearchWorkers),
+		cache:   cache.New[string, *cachedPlan](opts.CacheSize),
+		queue:   make(chan *job, opts.QueueDepth),
+		quit:    make(chan struct{}),
+		start:   time.Now(),
+		reg:     metrics.NewRegistry("plansvc"),
+	}
+	s.planFn = s.planner.plan
+	m := &s.met
+	m.requests = s.reg.Counter("requests_total", "HTTP requests received")
+	m.plansComputed = s.reg.Counter("plans_computed_total", "plans computed by the worker pool (cache misses that ran the planner)")
+	m.planErrors = s.reg.Counter("plan_errors_total", "plan computations that returned an error")
+	m.planPanics = s.reg.Counter("plan_panics_total", "plan computations recovered from a panic")
+	m.cacheHits = s.reg.Counter("cache_hits_total", "plan requests served from the LRU cache")
+	m.collapsed = s.reg.Counter("singleflight_collapsed_total", "plan requests that waited on an identical in-flight computation")
+	m.shed = s.reg.Counter("shed_total", "plan requests shed with 429 because the admission queue was full")
+	m.deadline = s.reg.Counter("deadline_exceeded_total", "plan requests that hit their deadline before completing")
+	m.badRequests = s.reg.Counter("bad_requests_total", "requests rejected by validation")
+	m.queueDepth = s.reg.GaugeFunc("queue_depth", "admitted jobs waiting for a worker", func() int64 { return int64(len(s.queue)) })
+	m.inflight = s.reg.Gauge("inflight_requests", "plan requests currently being handled")
+	m.cacheLen = s.reg.GaugeFunc("cache_entries", "plans held in the LRU cache", func() int64 { return int64(s.cache.Len()) })
+	m.planLatency = s.reg.Histogram("plan_latency_seconds", "planner compute latency", nil)
+	m.reqLatency = s.reg.Histogram("request_latency_seconds", "end-to-end /v1/plan latency", nil)
+
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics returns the service's metric registry (for tests and embedding).
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+// CacheStats returns the plan cache counters.
+func (s *Service) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// Close drains the worker pool: already-admitted jobs finish, new plan
+// requests fail with code shutting_down. Call after the HTTP server has
+// stopped accepting requests (so no waiter outlives its worker).
+func (s *Service) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// Plan computes (or returns the cached) plan for req. It is the programmatic
+// equivalent of POST /v1/plan and goes through the same validation,
+// fingerprint, cache, and admission layers.
+func (s *Service) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, error) {
+	sp, err := normalize(req)
+	if err != nil {
+		return nil, err
+	}
+	entry, _, err := s.lookupOrPlan(ctx, sp)
+	if err != nil {
+		return nil, err
+	}
+	return entry.resp, nil
+}
+
+// lookupOrPlan runs the fingerprint → cache → admission → worker path.
+func (s *Service) lookupOrPlan(ctx context.Context, sp *planSpec) (*cachedPlan, cache.Outcome, error) {
+	// The server-side deadline: the request's timeout clamped to MaxPlanTime.
+	limit := s.opts.MaxPlanTime
+	if ms := sp.deadlineMillis; ms > 0 {
+		if d := time.Duration(ms) * time.Millisecond; d < limit {
+			limit = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, limit)
+	defer cancel()
+	fp := sp.fingerprint()
+	entry, err, outcome := s.cache.Do(ctx, fp, func() (*cachedPlan, error) {
+		return s.execute(ctx, sp)
+	})
+	switch outcome {
+	case cache.Hit:
+		s.met.cacheHits.Inc()
+	case cache.Collapsed:
+		s.met.collapsed.Inc()
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			s.met.deadline.Inc()
+			err = &APIError{Code: CodeDeadlineExceeded, Message: "planning did not complete before the request deadline"}
+		}
+		return nil, outcome, err
+	}
+	return entry, outcome, nil
+}
+
+// execute admits the job to the bounded queue and waits for a worker.
+func (s *Service) execute(ctx context.Context, sp *planSpec) (*cachedPlan, error) {
+	j := &job{sp: sp, ctx: ctx, done: make(chan jobResult, 1)}
+	if err := s.enqueue(j); err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-j.done:
+		return r.entry, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// enqueue admits j or sheds it. Shedding returns a typed overloaded error
+// carrying a Retry-After estimate from the queue depth and recent latency.
+func (s *Service) enqueue(j *job) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return &APIError{Code: CodeShuttingDown, Message: "service is draining"}
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		s.met.shed.Inc()
+		return &APIError{
+			Code:              CodeOverloaded,
+			Message:           "admission queue full",
+			RetryAfterSeconds: s.retryAfterSeconds(),
+		}
+	}
+}
+
+// retryAfterSeconds estimates how long a shed client should back off: the
+// queue's expected drain time at the recent mean plan latency.
+func (s *Service) retryAfterSeconds() int {
+	ewma := time.Duration(s.ewmaPlanNs.Load())
+	if ewma <= 0 {
+		ewma = 50 * time.Millisecond
+	}
+	drain := time.Duration(len(s.queue)+1) * ewma / time.Duration(s.opts.Workers)
+	sec := int(math.Ceil(drain.Seconds()))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// worker is one planner goroutine. On quit it drains the remaining queue
+// (their waiters may still be blocked in execute) and exits.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.run(j)
+		case <-s.quit:
+			for {
+				select {
+				case j := <-s.queue:
+					s.run(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// run computes one admitted job, converting panics in the planning stack
+// into typed internal errors so a malformed corner case can never take the
+// service down.
+func (s *Service) run(j *job) {
+	if err := j.ctx.Err(); err != nil {
+		j.done <- jobResult{err: err}
+		return
+	}
+	t0 := time.Now()
+	entry, err := s.compute(j.sp)
+	d := time.Since(t0)
+	s.met.planLatency.Observe(d.Seconds())
+	s.observePlanLatency(d)
+	if err != nil {
+		s.met.planErrors.Inc()
+	} else {
+		s.met.plansComputed.Inc()
+	}
+	j.done <- jobResult{entry: entry, err: err}
+}
+
+func (s *Service) compute(sp *planSpec) (entry *cachedPlan, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.met.planPanics.Inc()
+			s.log.Error("plan panic", "mode", sp.Mode, "model", sp.ModelName, "panic", r)
+			entry, err = nil, &APIError{Code: CodeInternal, Message: "planner failure"}
+		}
+	}()
+	resp, err := s.planFn(sp)
+	if err != nil {
+		return nil, err
+	}
+	body, err := marshalBody(resp)
+	if err != nil {
+		return nil, &APIError{Code: CodeInternal, Message: "response encoding failed"}
+	}
+	return &cachedPlan{resp: resp, body: body}, nil
+}
+
+// observePlanLatency folds d into the EWMA used by Retry-After.
+func (s *Service) observePlanLatency(d time.Duration) {
+	const alpha = 0.2
+	for {
+		old := s.ewmaPlanNs.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = int64((1-alpha)*float64(old) + alpha*float64(d))
+		}
+		if s.ewmaPlanNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}

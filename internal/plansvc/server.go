@@ -1,0 +1,217 @@
+package plansvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Response headers carrying request-scoped facts that must not live in the
+// (cached, byte-identical) body.
+const (
+	// HeaderOutcome reports how the plan was obtained: hit | computed |
+	// collapsed.
+	HeaderOutcome = "X-Plan-Outcome"
+	// HeaderFingerprint carries the canonical request fingerprint.
+	HeaderFingerprint = "X-Plan-Fingerprint"
+)
+
+// Handler returns the service's HTTP handler:
+//
+//	POST /v1/plan     — compute (or fetch) a schedule plan
+//	GET  /v1/models   — list the model zoo
+//	GET  /v1/healthz  — liveness
+//	GET  /metrics     — plaintext metric exposition
+//	GET  /debug/vars  — expvar JSON (service metrics under "plansvc")
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	// The "/" fallback below would otherwise swallow the mux's automatic 405
+	// for wrong-method hits on /v1/plan.
+	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, &APIError{Code: CodeMethodNotAllowed,
+			Message: fmt.Sprintf("%s not allowed on /v1/plan; use POST", r.Method)})
+	})
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/vars", s.handleDebugVars)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound,
+			Message: fmt.Sprintf("no route for %s %s", r.Method, r.URL.Path)})
+	})
+	return s.logRequests(mux)
+}
+
+// logRequests wraps h with structured request logging.
+func (s *Service) logRequests(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqSeq.Add(1)
+		t0 := time.Now()
+		rw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rw, r)
+		d := time.Since(t0)
+		if r.URL.Path == "/v1/plan" {
+			s.met.reqLatency.Observe(d.Seconds())
+		}
+		s.log.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rw.status,
+			"bytes", rw.bytes,
+			"dur_ms", float64(d.Microseconds())/1000,
+			"outcome", rw.Header().Get(HeaderOutcome),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// statusWriter records the status code and body size for logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Inc()
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	var req PlanRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.met.badRequests.Inc()
+		s.writeError(w, http.StatusBadRequest, &APIError{Code: CodeInvalidRequest,
+			Message: fmt.Sprintf("malformed request body: %v", err)})
+		return
+	}
+	sp, err := normalize(&req)
+	if err != nil {
+		s.met.badRequests.Inc()
+		s.writeTypedError(w, err)
+		return
+	}
+
+	entry, outcome, err := s.lookupOrPlan(r.Context(), sp)
+	if err != nil {
+		s.writeTypedError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderOutcome, outcome.String())
+	w.Header().Set(HeaderFingerprint, entry.resp.Fingerprint)
+	w.Write(entry.body)
+}
+
+func (s *Service) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Inc()
+	writeJSON(w, http.StatusOK, struct {
+		Models []ZooModelInfo `json:"models"`
+	}{buildModels()})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status  string  `json:"status"`
+		UptimeS float64 `json:"uptime_s"`
+		Workers int     `json:"workers"`
+	}{"ok", time.Since(s.start).Seconds(), s.opts.Workers})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w)
+}
+
+// handleDebugVars renders expvar-compatible JSON: the process-global expvar
+// set (cmdline, memstats) plus this service's registry under "plansvc".
+// Rendering locally instead of expvar.Publish keeps multiple Service
+// instances (tests, benchmarks) from fighting over the global namespace.
+func (s *Service) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	var buf bytes.Buffer
+	buf.WriteString("{\n")
+	snap, _ := json.Marshal(s.reg.Snapshot())
+	fmt.Fprintf(&buf, "%q: %s", "plansvc", snap)
+	expvar.Do(func(kv expvar.KeyValue) {
+		fmt.Fprintf(&buf, ",\n%q: %s", kv.Key, kv.Value.String())
+	})
+	buf.WriteString("\n}\n")
+	w.Write(buf.Bytes())
+}
+
+// writeTypedError maps an error from the planning path onto an HTTP status
+// and the JSON error envelope.
+func (s *Service) writeTypedError(w http.ResponseWriter, err error) {
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			apiErr = &APIError{Code: CodeDeadlineExceeded, Message: "request cancelled or deadline exceeded"}
+		} else {
+			apiErr = &APIError{Code: CodeInternal, Message: err.Error()}
+		}
+	}
+	status := http.StatusInternalServerError
+	switch apiErr.Code {
+	case CodeInvalidRequest, CodeUnknownModel:
+		status = http.StatusBadRequest
+	case CodeNotFound:
+		status = http.StatusNotFound
+	case CodeMethodNotAllowed:
+		status = http.StatusMethodNotAllowed
+	case CodeOverloaded:
+		status = http.StatusTooManyRequests
+		if apiErr.RetryAfterSeconds > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(apiErr.RetryAfterSeconds))
+		}
+	case CodeDeadlineExceeded:
+		status = http.StatusGatewayTimeout
+	case CodeShuttingDown:
+		status = http.StatusServiceUnavailable
+	}
+	s.writeError(w, status, apiErr)
+}
+
+func (s *Service) writeError(w http.ResponseWriter, status int, e *APIError) {
+	writeJSON(w, status, struct {
+		Error *APIError `json:"error"`
+	}{e})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// marshalBody renders the canonical (cached) response body.
+func marshalBody(resp *PlanResponse) ([]byte, error) {
+	b, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
