@@ -13,17 +13,20 @@ import (
 	"time"
 
 	"oooback/internal/core"
+	"oooback/internal/data"
 	"oooback/internal/datapar"
 	"oooback/internal/experiments"
 	"oooback/internal/gpusim"
 	"oooback/internal/graph"
 	"oooback/internal/models"
 	"oooback/internal/netsim"
+	"oooback/internal/nn"
 	"oooback/internal/pipepar"
 	"oooback/internal/plansvc"
 	"oooback/internal/sim"
 	"oooback/internal/singlegpu"
 	"oooback/internal/tensor"
+	"oooback/internal/train"
 )
 
 // benchExperiment wraps a registered experiment as a benchmark.
@@ -241,6 +244,45 @@ func BenchmarkPlanService(b *testing.B) {
 	}
 	b.ReportMetric(rep.OpsPerSec, "ops/s")
 	b.ReportMetric(rep.LatencyMsP95, "p95-ms")
+}
+
+// BenchmarkTrainBackward measures real (CPU) backward passes: serial walk vs
+// concurrent executor × conventional vs reverse-first-k schedules, on the
+// same MLP the differential suite uses. On multi-core hosts the concurrent
+// rows run the δW ops on the worker pool while the δO chain proceeds.
+func BenchmarkTrainBackward(b *testing.B) {
+	net := train.MLPNet(11, 64, 96, 4, 4)
+	L := len(net.Layers)
+	x, labels := data.Vectors(3, 32, 64, 4)
+	logits := net.Forward(x)
+	_, lossGrad := nn.SoftmaxCrossEntropy(logits, labels)
+	for _, mode := range []train.ExecMode{train.ExecSerial, train.ExecConcurrent} {
+		for _, sc := range []struct {
+			name  string
+			sched graph.BackwardSchedule
+		}{
+			{"conventional", graph.Conventional(L)},
+			{"reverse-first-k", graph.ReverseFirstK(L, L)},
+		} {
+			b.Run(mode.String()+"/"+sc.name, func(b *testing.B) {
+				var exec *train.Executor
+				if mode == train.ExecConcurrent {
+					exec = train.NewExecutor(train.ExecConcurrent, 0)
+					b.Cleanup(exec.Close)
+				}
+				if _, err := exec.Backward(net, lossGrad, sc.sched); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := exec.Backward(net, lossGrad, sc.sched); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 var sinkDuration time.Duration

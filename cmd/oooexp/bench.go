@@ -16,8 +16,10 @@ import (
 	"oooback/internal/datapar"
 	"oooback/internal/graph"
 	"oooback/internal/models"
+	"oooback/internal/nn"
 	"oooback/internal/plansvc"
 	"oooback/internal/sim"
+	"oooback/internal/train"
 )
 
 // benchResult is one machine-readable micro-benchmark measurement.
@@ -84,6 +86,42 @@ func runBench(outDir string) error {
 type namedBench struct {
 	name string
 	fn   func(b *testing.B)
+}
+
+// trainBackwardBench measures one real backward pass: the serial walk under
+// the conventional schedule, or the concurrent executor under reverse-first-k
+// (the out-of-order order that exposes δW parallelism). Same networks as
+// `oooexp exec`.
+func trainBackwardBench(kind string, concurrent bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		var en execNet
+		for _, n := range execNets() {
+			if n.name == kind {
+				en = n
+			}
+		}
+		L := len(en.net.Layers)
+		logits := en.net.Forward(en.x)
+		_, lossGrad := nn.SoftmaxCrossEntropy(logits, en.labels)
+		sched := graph.Conventional(L)
+		exec := (*train.Executor)(nil)
+		if concurrent {
+			sched = graph.ReverseFirstK(L, L)
+			e := train.NewExecutor(train.ExecConcurrent, 0)
+			b.Cleanup(e.Close)
+			exec = e
+		}
+		if _, err := exec.Backward(en.net, lossGrad, sched); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.Backward(en.net, lossGrad, sched); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // benchList mirrors the root bench_test.go micro-benchmarks of the three hot
@@ -181,6 +219,12 @@ func benchList() []namedBench {
 			}
 			b.ReportMetric(rep.OpsPerSec, "ops/s")
 		}},
+		{"TrainBackwardMLPSerial", trainBackwardBench("mlp", false)},
+		{"TrainBackwardMLPConcurrent", trainBackwardBench("mlp", true)},
+		{"TrainBackwardConvSerial", trainBackwardBench("conv", false)},
+		{"TrainBackwardConvConcurrent", trainBackwardBench("conv", true)},
+		{"TrainBackwardNLPSerial", trainBackwardBench("nlp", false)},
+		{"TrainBackwardNLPConcurrent", trainBackwardBench("nlp", true)},
 		{"PlanServiceWarmHit", func(b *testing.B) {
 			svc := plansvc.New(plansvc.Options{
 				Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),

@@ -14,6 +14,10 @@
 //	oooexp bench                   run the perf micro-benchmarks and emit
 //	                               machine-readable JSON (ns/op, allocs/op);
 //	                               with -o DIR, also write DIR/BENCH_BASELINE.json
+//	oooexp exec                    compare the serial and concurrent backward
+//	                               engines on real MLP/conv/NLP networks
+//	                               (walltime, peak grads, bit-identity); with
+//	                               -o DIR, write a Chrome trace per combination
 package main
 
 import (
@@ -54,6 +58,11 @@ func main() {
 		}
 	case "bench":
 		if err := runBench(*outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "oooexp: %v\n", err)
+			os.Exit(1)
+		}
+	case "exec":
+		if err := runExec(*outDir); err != nil {
 			fmt.Fprintf(os.Stderr, "oooexp: %v\n", err)
 			os.Exit(1)
 		}
@@ -101,5 +110,5 @@ func runIDs(ids []string, workers int, outDir string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: oooexp [-o dir] [-parallel n] list | all | bench | <experiment-id>...")
+	fmt.Fprintln(os.Stderr, "usage: oooexp [-o dir] [-parallel n] list | all | bench | exec | <experiment-id>...")
 }

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDependency(t *testing.T) {
+	const L = 5
+	for _, kind := range []OpKind{OutGrad, WeightGrad} {
+		for i := 1; i < L; i++ {
+			dep, ok := Dependency(Op{Kind: kind, Layer: i}, L)
+			if !ok || dep != (Op{Kind: OutGrad, Layer: i + 1}) {
+				t.Fatalf("Dependency(%v%d) = %v, %v", kind, i, dep, ok)
+			}
+		}
+		if _, ok := Dependency(Op{Kind: kind, Layer: L}, L); ok {
+			t.Fatalf("layer-%d %v op should have no in-schedule dependency", L, kind)
+		}
+	}
+}
+
+func TestAnalyzeRejectsIllegal(t *testing.T) {
+	if _, err := Analyze(3, BackwardSchedule{{Kind: WeightGrad, Layer: 1}}); err == nil {
+		t.Fatal("short schedule accepted")
+	}
+	bad := BackwardSchedule{
+		{OutGrad, 3}, {WeightGrad, 3}, {WeightGrad, 1}, // dW1 before dO2
+		{OutGrad, 2}, {WeightGrad, 2}, {OutGrad, 1},
+	}
+	if _, err := Analyze(3, bad); err == nil {
+		t.Fatal("dependency-violating schedule accepted")
+	}
+}
+
+func TestAnalyzeConventional(t *testing.T) {
+	const L = 4
+	a, err := Analyze(L, Conventional(L))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PeakLiveGrads != 2 {
+		t.Fatalf("conventional peak = %d, want 2", a.PeakLiveGrads)
+	}
+	wantLayers := []int{4, 3, 2, 1}
+	for j, l := range wantLayers {
+		if a.DWLayers[j] != l {
+			t.Fatalf("DWLayers = %v, want %v", a.DWLayers, wantLayers)
+		}
+		// Conventional issues δW_i right after δO_i: L−i+1 chain links done.
+		if a.DWIssueAfter[j] != L-l+1 {
+			t.Fatalf("DWIssueAfter[%d] = %d, want %d", j, a.DWIssueAfter[j], L-l+1)
+		}
+		if a.DWReadyAfter[j] != L-l {
+			t.Fatalf("DWReadyAfter[%d] = %d, want %d", j, a.DWReadyAfter[j], L-l)
+		}
+	}
+}
+
+func TestAnalyzeReverseFirstK(t *testing.T) {
+	const L = 6
+	for k := 0; k <= L; k++ {
+		s := ReverseFirstK(L, k)
+		a, err := Analyze(L, s)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// Deferred δW: the first k layers issue only after the whole chain.
+		deferred := 0
+		for j, l := range a.DWLayers {
+			if l <= k {
+				deferred++
+				if a.DWIssueAfter[j] != L {
+					t.Fatalf("k=%d: deferred dW%d issues after %d links, want %d",
+						k, l, a.DWIssueAfter[j], L)
+				}
+			}
+		}
+		if deferred != k {
+			t.Fatalf("k=%d: %d deferred δW ops", k, deferred)
+		}
+		// Retention plan: once the chain completes, the k deferred gradients
+		// are all still live, so the peak is k, floored at the conventional 2
+		// (current gradient + freshly produced one).
+		want := k
+		if want < 2 {
+			want = 2
+		}
+		if a.PeakLiveGrads != want {
+			t.Fatalf("k=%d: peak = %d, want %d", k, a.PeakLiveGrads, want)
+		}
+	}
+}
+
+func TestReverseFirstKClamps(t *testing.T) {
+	if err := ReverseFirstK(5, -3).Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReverseFirstK(5, 99).Validate(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property over random legal schedules: issue points never precede ready
+// points, every layer's δW appears exactly once, and the analysis validates.
+func TestAnalyzeRandomSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		L := 1 + rng.Intn(8)
+		s := randomLegal(L, rng)
+		a, err := Analyze(L, s)
+		if err != nil {
+			t.Fatalf("L=%d trial %d: %v", L, trial, err)
+		}
+		seen := make(map[int]bool)
+		for j := range a.DWLayers {
+			if a.DWIssueAfter[j] < a.DWReadyAfter[j] {
+				t.Fatalf("dW%d issues at %d before ready point %d",
+					a.DWLayers[j], a.DWIssueAfter[j], a.DWReadyAfter[j])
+			}
+			seen[a.DWLayers[j]] = true
+		}
+		if len(seen) != L {
+			t.Fatalf("δW layers %v incomplete for L=%d", a.DWLayers, L)
+		}
+	}
+}
+
+// randomLegal emits a uniformly random legal backward schedule.
+func randomLegal(L int, rng *rand.Rand) BackwardSchedule {
+	doneDO := make([]bool, L+2)
+	doneDO[L+1] = true
+	var pending []Op
+	for i := 1; i <= L; i++ {
+		pending = append(pending, Op{OutGrad, i}, Op{WeightGrad, i})
+	}
+	var s BackwardSchedule
+	for len(pending) > 0 {
+		var ready []int
+		for j, op := range pending {
+			if doneDO[op.Layer+1] {
+				ready = append(ready, j)
+			}
+		}
+		j := ready[rng.Intn(len(ready))]
+		op := pending[j]
+		pending = append(pending[:j], pending[j+1:]...)
+		if op.Kind == OutGrad {
+			doneDO[op.Layer] = true
+		}
+		s = append(s, op)
+	}
+	return s
+}

@@ -367,13 +367,13 @@ func normalize(req *PlanRequest) (*planSpec, error) {
 		return nil, invalidf("model", "set exactly one of model and model_spec, not both")
 	case hasName:
 		name := strings.ToLower(strings.TrimSpace(req.Model))
-		m, err := models.BuildZoo(name, profiles[sp.GPU].prof)
-		if err != nil {
+		if _, ok := models.LookupZoo(name); !ok {
 			return nil, &APIError{Code: CodeUnknownModel, Field: "model",
 				Message: fmt.Sprintf("unknown model %q; GET /v1/models lists the zoo", req.Model)}
 		}
+		// Zoo models resolve lazily (resolveModel): cache hits are served from
+		// the fingerprint alone and never pay the model build.
 		sp.ModelName = name
-		sp.model = m
 	case hasSpec:
 		if len(req.ModelSpec) > maxModelSpecBytes {
 			return nil, invalidf("model_spec", "spec exceeds %d bytes", maxModelSpecBytes)
@@ -422,6 +422,22 @@ func (sp *planSpec) fingerprint() string {
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
+}
+
+// resolveModel returns the request's model, building zoo models on first use.
+// Inline specs are decoded eagerly in normalize (their content must be
+// validated at request time); zoo names are built only when a plan is
+// actually computed.
+func (sp *planSpec) resolveModel() *models.Model {
+	if sp.model == nil {
+		m, err := models.BuildZoo(sp.ModelName, profiles[sp.GPU].prof)
+		if err != nil {
+			// The name was validated in normalize.
+			panic(fmt.Errorf("plansvc: zoo model %q: %w", sp.ModelName, err))
+		}
+		sp.model = m
+	}
+	return sp.model
 }
 
 // cluster materializes the datapar cluster of the spec.

@@ -36,14 +36,15 @@ func newPlanner(searchWorkers int) *planner {
 // plan dispatches on the normalized spec's mode. The returned response is a
 // pure function of sp (see PlanResponse).
 func (p *planner) plan(sp *planSpec) (*PlanResponse, error) {
+	m := sp.resolveModel()
 	resp := &PlanResponse{
 		Fingerprint: sp.fingerprint(),
 		Mode:        sp.Mode,
 		Model: ModelSummary{
-			Name:       sp.model.Name,
-			Layers:     sp.model.NumLayers(),
-			Batch:      sp.model.Batch,
-			ParamBytes: sp.model.TotalParamBytes(),
+			Name:       m.Name,
+			Layers:     m.NumLayers(),
+			Batch:      m.Batch,
+			ParamBytes: m.TotalParamBytes(),
 		},
 	}
 	var err error
@@ -81,7 +82,7 @@ func discipline(m datapar.Method) (prio func(int) int, preemptive bool) {
 // method's cost model and channel discipline. The baseline is the
 // conventional backward order under the same method.
 func (p *planner) planDataPar(sp *planSpec, resp *PlanResponse) error {
-	m := sp.model
+	m := sp.resolveModel()
 	L := len(m.Layers)
 	method := dpMethods[sp.Method]
 	costs := datapar.Costs(m, sp.cluster(), sp.GPUs, method)
@@ -120,7 +121,7 @@ func (p *planner) planDataPar(sp *planSpec, resp *PlanResponse) error {
 // conventional balanced-contiguous partition without fast-forwarding under
 // the same discipline.
 func (p *planner) planPipeline(sp *planSpec, resp *PlanResponse) error {
-	m := sp.model
+	m := sp.resolveModel()
 	L := len(m.Layers)
 	n := sp.GPUs
 	if n > L {
@@ -165,7 +166,7 @@ func (p *planner) planPipeline(sp *planSpec, resp *PlanResponse) error {
 // scheduling (Algorithm 1) of the δW kernels onto the sub-stream, as the
 // OOO-XLA executor applies it. The baseline is plain XLA.
 func (p *planner) planSingleGPU(sp *planSpec, resp *PlanResponse) error {
-	m := sp.model
+	m := sp.resolveModel()
 	cfg := profiles[sp.GPU].cfg
 	r := singlegpu.Run(m, singlegpu.OOOXLA(), cfg)
 	if r.OOM {

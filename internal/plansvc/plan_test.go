@@ -28,8 +28,19 @@ func TestNormalizeDefaults(t *testing.T) {
 	if sp.GPUs != defaultGPUs || sp.GPU != "v100" {
 		t.Fatalf("defaults: gpus=%d gpu=%q", sp.GPUs, sp.GPU)
 	}
-	if sp.model == nil || sp.ModelName != "resnet50" {
-		t.Fatal("model not resolved")
+	if sp.ModelName != "resnet50" {
+		t.Fatalf("model name = %q", sp.ModelName)
+	}
+	// Zoo models resolve lazily: nothing built at normalize time, the first
+	// resolveModel call builds and pins it.
+	if sp.model != nil {
+		t.Fatal("zoo model built eagerly during normalize")
+	}
+	if m := sp.resolveModel(); m == nil || m.NumLayers() == 0 {
+		t.Fatalf("resolveModel returned %v", m)
+	}
+	if sp.model == nil {
+		t.Fatal("resolveModel did not pin the model")
 	}
 }
 

@@ -124,11 +124,13 @@ type serviceMetrics struct {
 	reqLatency    *metrics.Histogram
 }
 
-// cachedPlan is the cache value: the response and its serialized body, so
-// hits serve stored bytes with zero planning or encoding work.
+// cachedPlan is the cache value: the response, its serialized body, and the
+// prebuilt fingerprint header value, so hits serve stored bytes with zero
+// planning, encoding or header-allocation work.
 type cachedPlan struct {
-	resp *PlanResponse
-	body []byte
+	resp     *PlanResponse
+	body     []byte
+	fpHeader []string // {resp.Fingerprint}, assigned directly into the header map
 }
 
 // job is one admitted planning request.
@@ -358,7 +360,7 @@ func (s *Service) compute(sp *planSpec) (entry *cachedPlan, err error) {
 	if err != nil {
 		return nil, &APIError{Code: CodeInternal, Message: "response encoding failed"}
 	}
-	return &cachedPlan{resp: resp, body: body}, nil
+	return &cachedPlan{resp: resp, body: body, fpHeader: []string{resp.Fingerprint}}, nil
 }
 
 // observePlanLatency folds d into the EWMA used by Retry-After.

@@ -7,9 +7,13 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
+
+	"oooback/internal/plansvc/cache"
 )
 
 // Response headers carrying request-scoped facts that must not live in the
@@ -50,27 +54,35 @@ func (s *Service) Handler() http.Handler {
 	return s.logRequests(mux)
 }
 
-// logRequests wraps h with structured request logging.
+// logRequests wraps h with structured request logging. The hot path uses
+// pooled status writers and slog.LogAttrs (typed attrs, no interface boxing),
+// and skips attribute construction entirely when the handler discards Info.
 func (s *Service) logRequests(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := s.reqSeq.Add(1)
 		t0 := time.Now()
-		rw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		rw := swPool.Get().(*statusWriter)
+		rw.ResponseWriter, rw.status, rw.bytes = w, http.StatusOK, 0
 		h.ServeHTTP(rw, r)
 		d := time.Since(t0)
 		if r.URL.Path == "/v1/plan" {
 			s.met.reqLatency.Observe(d.Seconds())
 		}
-		s.log.Info("request",
-			"id", id,
-			"method", r.Method,
-			"path", r.URL.Path,
-			"status", rw.status,
-			"bytes", rw.bytes,
-			"dur_ms", float64(d.Microseconds())/1000,
-			"outcome", rw.Header().Get(HeaderOutcome),
-			"remote", r.RemoteAddr,
-		)
+		ctx := r.Context()
+		if s.log.Enabled(ctx, slog.LevelInfo) {
+			s.log.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.Int64("id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rw.status),
+				slog.Int("bytes", rw.bytes),
+				slog.Float64("dur_ms", float64(d.Microseconds())/1000),
+				slog.String("outcome", rw.Header().Get(HeaderOutcome)),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+		rw.ResponseWriter = nil
+		swPool.Put(rw)
 	})
 }
 
@@ -80,6 +92,8 @@ type statusWriter struct {
 	status int
 	bytes  int
 }
+
+var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
@@ -118,11 +132,25 @@ func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.writeTypedError(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set(HeaderOutcome, outcome.String())
-	w.Header().Set(HeaderFingerprint, entry.resp.Fingerprint)
+	// Direct map assignment of precomputed value slices: the keys are already
+	// in canonical MIME form, so this skips both textproto canonicalization
+	// and the per-call []string allocation of Header().Set.
+	h := w.Header()
+	h["Content-Type"] = headerJSON
+	h[HeaderOutcome] = outcomeHeaders[outcome]
+	h[HeaderFingerprint] = entry.fpHeader
 	w.Write(entry.body)
 }
+
+// Precomputed header value slices for the plan hot path.
+var (
+	headerJSON     = []string{"application/json"}
+	outcomeHeaders = map[cache.Outcome][]string{
+		cache.Hit:       {cache.Hit.String()},
+		cache.Computed:  {cache.Computed.String()},
+		cache.Collapsed: {cache.Collapsed.String()},
+	}
+)
 
 func (s *Service) handleModels(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()

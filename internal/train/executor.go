@@ -1,0 +1,368 @@
+package train
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oooback/internal/graph"
+	"oooback/internal/nn"
+	"oooback/internal/tensor"
+	"oooback/internal/trace"
+)
+
+// ExecMode selects the backward execution engine of an Executor.
+type ExecMode int
+
+const (
+	// ExecSerial walks the schedule on the calling goroutine, exactly like
+	// Network.Backward.
+	ExecSerial ExecMode = iota
+	// ExecConcurrent keeps the δO_L → δO_1 chain on the calling goroutine and
+	// dispatches each δW op to a bounded worker pool at its schedule position
+	// (its input gradient exists from that point on, per graph.Analyze).
+	ExecConcurrent
+)
+
+func (m ExecMode) String() string {
+	switch m {
+	case ExecSerial:
+		return "serial"
+	case ExecConcurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("ExecMode(%d)", int(m))
+	}
+}
+
+// dwTask is one dispatched weight-gradient computation.
+type dwTask struct {
+	layer nn.Layer
+	idx   int // 1-based layer index, for release accounting and trace labels
+	grad  *tensor.Tensor
+}
+
+// taskQueueCap bounds the δW dispatch queue. A full queue back-pressures the
+// δO chain (a send blocks until a worker frees a slot), which only throttles;
+// workers always drain, so no deadlock is possible.
+const taskQueueCap = 1024
+
+// Executor runs backward passes of a Network under a chosen execution engine.
+//
+// The paper's §3 observation is that every δW_i is off the critical path:
+// it needs only δO_{i+1}, and nothing inside the iteration needs δW_i back.
+// ExecConcurrent exploits that on real parallel hardware: the calling
+// goroutine executes the δO chain in schedule order while each δW op is
+// handed to a persistent bounded worker pool the moment the schedule issues
+// it. Backward returns once the chain and every dispatched δW finished, so
+// callers observe the same completion semantics as the serial walk.
+//
+// Gradients are bit-identical to Network.Backward for every legal schedule:
+// each δW touches only its own layer's parameter gradients, each runs exactly
+// once per pass, and the accumulation order within a layer is unchanged —
+// reordering across layers never reorders floating-point additions into the
+// same accumulator. Gradient tensors are retained until both of their
+// consumers (δO_i and δW_i) have completed, mirroring the serial release
+// rule; the reported PeakLiveGrads is the schedule's retention-plan peak from
+// graph.Analyze, identical to what the serial walk reports.
+//
+// An Executor is reusable across steps and networks; the warm path performs
+// no allocations beyond the layers' own compute. It is not safe for
+// concurrent use: one Backward at a time, and Close only after the last
+// Backward returned. A nil *Executor behaves as ExecSerial, so callers can
+// thread an optional executor without nil checks.
+type Executor struct {
+	mode    ExecMode
+	workers int
+
+	tasks  chan dwTask
+	quit   chan struct{}
+	poolWG sync.WaitGroup
+	once   sync.Once
+
+	// dwWG counts outstanding δW ops of the in-flight Backward.
+	dwWG sync.WaitGroup
+
+	// Per-pass state, reused across calls.
+	grads  []*tensor.Tensor
+	refcnt []int32
+
+	// Cached analysis of the most recent schedule (steady-state Fit loops use
+	// one schedule for thousands of steps; re-validating would allocate).
+	cachedSched graph.BackwardSchedule
+	cachedL     int
+	cachedPeak  int
+
+	// Tracing (nil tr = disabled; not the warm path).
+	tr        *trace.Trace
+	traceMu   sync.Mutex
+	t0        time.Time
+	laneNames []string // per-worker lane names, built once
+}
+
+// NewExecutor creates an executor. workers bounds the δW pool for
+// ExecConcurrent; workers ≤ 0 picks GOMAXPROCS−1 (at least 1), leaving one
+// processor for the δO chain. Serial executors spawn no goroutines.
+func NewExecutor(mode ExecMode, workers int) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0) - 1
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	e := &Executor{mode: mode, workers: workers, t0: time.Now()}
+	if mode == ExecConcurrent {
+		e.tasks = make(chan dwTask, taskQueueCap)
+		e.quit = make(chan struct{})
+		e.laneNames = make([]string, workers)
+		for i := range e.laneNames {
+			e.laneNames[i] = fmt.Sprintf("dW-worker%d", i)
+		}
+		e.poolWG.Add(workers)
+		for i := 0; i < workers; i++ {
+			go e.worker(i)
+		}
+	}
+	return e
+}
+
+// Mode returns the executor's execution mode (serial for a nil receiver).
+func (e *Executor) Mode() ExecMode {
+	if e == nil {
+		return ExecSerial
+	}
+	return e.mode
+}
+
+// Workers returns the δW pool size (0 for serial executors).
+func (e *Executor) Workers() int {
+	if e == nil || e.mode != ExecConcurrent {
+		return 0
+	}
+	return e.workers
+}
+
+// Close stops the worker pool. Idempotent; must not overlap a Backward call.
+func (e *Executor) Close() {
+	if e == nil || e.mode != ExecConcurrent {
+		return
+	}
+	e.once.Do(func() {
+		close(e.quit)
+		e.poolWG.Wait()
+	})
+}
+
+// SetTrace starts recording execution spans into tr (nil disables). Span
+// times are wall-clock offsets from this call. The δO chain lands on lane
+// "dO-chain"; each pool worker gets its own "dW-workerN" lane, so the
+// rendered timeline (or trace.ChromeJSON in Perfetto) makes the overlap
+// visible. Call between Backward passes, never during one.
+func (e *Executor) SetTrace(tr *trace.Trace) {
+	if e == nil {
+		return
+	}
+	e.tr = tr
+	e.t0 = time.Now()
+}
+
+const laneCritical = "dO-chain"
+
+func (e *Executor) now() time.Duration { return time.Since(e.t0) }
+
+// span records one op span; only called while tracing.
+func (e *Executor) span(lane string, op graph.Op, start, end time.Duration) {
+	kind := "dO"
+	if op.Kind == graph.WeightGrad {
+		kind = "dW"
+	}
+	e.traceMu.Lock()
+	e.tr.Add(lane, op.String(), kind, start, end)
+	e.traceMu.Unlock()
+}
+
+// worker is one pool goroutine. On quit it drains any queued tasks (their
+// dwWG entries are owed to a Backward caller) before exiting.
+func (e *Executor) worker(id int) {
+	defer e.poolWG.Done()
+	for {
+		select {
+		case t := <-e.tasks:
+			e.runDW(id, t)
+		case <-e.quit:
+			for {
+				select {
+				case t := <-e.tasks:
+					e.runDW(id, t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (e *Executor) runDW(worker int, t dwTask) {
+	if tr := e.tr; tr != nil {
+		start := e.now()
+		t.layer.WeightGrad(t.grad)
+		e.span(e.laneNames[worker], graph.Op{Kind: graph.WeightGrad, Layer: t.idx}, start, e.now())
+	} else {
+		t.layer.WeightGrad(t.grad)
+	}
+	e.release(t.idx)
+	e.dwWG.Done()
+}
+
+// release retires one consumer of gradient i and clears the slot once both
+// consumers (δO_i on the chain goroutine, δW_i on a worker) have finished.
+// The atomic decrement orders the clear after both consumers' reads: the
+// last decrementer observed the other's decrement, which in turn follows
+// that consumer's use of the tensor in program order.
+func (e *Executor) release(i int) {
+	if atomic.AddInt32(&e.refcnt[i], -1) == 0 {
+		e.grads[i] = nil
+	}
+}
+
+// analyze returns the schedule's retention-plan peak, validating and caching
+// the analysis. The steady-state re-check (same schedule as last call) does
+// not allocate.
+func (e *Executor) analyze(L int, sched graph.BackwardSchedule) (int, error) {
+	if L == e.cachedL && schedulesEqual(e.cachedSched, sched) {
+		return e.cachedPeak, nil
+	}
+	a, err := graph.Analyze(L, sched)
+	if err != nil {
+		return 0, fmt.Errorf("train: %w", err)
+	}
+	e.cachedSched = append(e.cachedSched[:0], sched...)
+	e.cachedL = L
+	e.cachedPeak = a.PeakLiveGrads
+	return a.PeakLiveGrads, nil
+}
+
+func schedulesEqual(a, b graph.BackwardSchedule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Backward executes the backward pass under the executor's mode. Serial mode
+// (and a nil receiver) matches Network.Backward exactly; concurrent mode
+// produces bit-identical parameter gradients and the same PeakLiveGrads.
+func (e *Executor) Backward(n *Network, lossGrad *tensor.Tensor, sched graph.BackwardSchedule) (BackwardStats, error) {
+	if e == nil || e.mode != ExecConcurrent {
+		if e != nil && e.tr != nil {
+			return e.backwardSerialTraced(n, lossGrad, sched)
+		}
+		return n.Backward(lossGrad, sched)
+	}
+	L := len(n.Layers)
+	peak, err := e.analyze(L, sched)
+	if err != nil {
+		return BackwardStats{}, err
+	}
+	if cap(e.grads) < L+1 {
+		e.grads = make([]*tensor.Tensor, L+1)
+		e.refcnt = make([]int32, L+1)
+	}
+	e.grads = e.grads[:L+1]
+	e.refcnt = e.refcnt[:L+1]
+	for i := range e.grads {
+		e.grads[i] = nil
+	}
+	for i := 1; i <= L; i++ {
+		e.refcnt[i] = 2
+	}
+	e.grads[L] = lossGrad
+
+	tracing := e.tr != nil
+	for _, op := range sched {
+		i := op.Layer
+		switch op.Kind {
+		case graph.OutGrad:
+			g := e.grads[i]
+			var start time.Duration
+			if tracing {
+				start = e.now()
+			}
+			gin := n.Layers[i-1].InputGrad(g)
+			if tracing {
+				e.span(laneCritical, op, start, e.now())
+			}
+			if i > 1 {
+				e.grads[i-1] = gin
+			}
+			e.release(i)
+		case graph.WeightGrad:
+			e.dwWG.Add(1)
+			e.tasks <- dwTask{layer: n.Layers[i-1], idx: i, grad: e.grads[i]}
+		}
+	}
+	e.dwWG.Wait()
+	return BackwardStats{PeakLiveGrads: peak}, nil
+}
+
+// backwardSerialTraced is the serial walk with span recording — the baseline
+// lane set of a serial-vs-concurrent trace comparison. Identical op order and
+// stats to Network.Backward; every op lands on the single critical lane.
+func (e *Executor) backwardSerialTraced(n *Network, lossGrad *tensor.Tensor, sched graph.BackwardSchedule) (BackwardStats, error) {
+	L := len(n.Layers)
+	if err := sched.Validate(L); err != nil {
+		return BackwardStats{}, fmt.Errorf("train: %w", err)
+	}
+	grads := make([]*tensor.Tensor, L+1)
+	grads[L] = lossGrad
+	doneDO := make([]bool, L+1)
+	doneDW := make([]bool, L+1)
+	live, peak := 1, 1
+	for _, op := range sched {
+		i := op.Layer
+		g := grads[i]
+		start := e.now()
+		switch op.Kind {
+		case graph.OutGrad:
+			gin := n.Layers[i-1].InputGrad(g)
+			doneDO[i] = true
+			if i > 1 {
+				grads[i-1] = gin
+				live++
+				if live > peak {
+					peak = live
+				}
+			}
+		case graph.WeightGrad:
+			n.Layers[i-1].WeightGrad(g)
+			doneDW[i] = true
+		}
+		e.span(laneCritical, op, start, e.now())
+		if doneDO[i] && doneDW[i] && grads[i] != nil {
+			grads[i] = nil
+			live--
+		}
+	}
+	return BackwardStats{PeakLiveGrads: peak}, nil
+}
+
+// Step runs one full training step (forward, loss, backward under the
+// executor's engine, optimizer update) and returns the loss. A nil receiver
+// runs the serial engine, making it a drop-in for train.Step.
+func (e *Executor) Step(n *Network, x *tensor.Tensor, labels []int, sched graph.BackwardSchedule, opt nn.Optimizer) (float64, error) {
+	n.ZeroGrads()
+	logits := n.Forward(x)
+	loss, grad := nn.SoftmaxCrossEntropy(logits, labels)
+	if _, err := e.Backward(n, grad, sched); err != nil {
+		return 0, err
+	}
+	opt.Step(n.Params())
+	return loss, nil
+}

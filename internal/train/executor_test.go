@@ -1,0 +1,276 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"oooback/internal/data"
+	"oooback/internal/graph"
+	"oooback/internal/nn"
+	"oooback/internal/tensor"
+	"oooback/internal/trace"
+)
+
+// execCase is one model + batch the differential suite exercises.
+type execCase struct {
+	name   string
+	build  func() *Network
+	x      *tensor.Tensor
+	labels []int
+}
+
+func execCases() []execCase {
+	mlpX, mlpY := data.Vectors(3, 12, 16, 3)
+	cnvX, cnvY := data.Images(5, 6, 1, 10, 10, 4)
+	nlpX, nlpY := TokenBatch(7, 12, 8, 40, 3)
+	return []execCase{
+		{"mlp", func() *Network { return MLPNet(11, 16, 24, 3, 3) }, mlpX, mlpY},
+		{"conv", func() *Network { return ConvNet(13, 10, 4, 4) }, cnvX, cnvY},
+		{"nlp", func() *Network { return TokenNet(17, 40, 12, 8, 16, 3) }, nlpX, nlpY},
+	}
+}
+
+// caseSchedules returns the schedule battery for an L-layer network:
+// conventional, every reverse first-k, and a handful of random legal orders.
+func caseSchedules(L int, rng *rand.Rand) []graph.BackwardSchedule {
+	out := []graph.BackwardSchedule{graph.Conventional(L)}
+	for k := 0; k <= L; k++ {
+		out = append(out, graph.ReverseFirstK(L, k))
+	}
+	for i := 0; i < 6; i++ {
+		out = append(out, randomLegalSchedule(L, rng))
+	}
+	return out
+}
+
+// TestConcurrentExecutorDifferential is the randomized differential suite the
+// issue asks for: many models × schedules × GOMAXPROCS values, asserting
+// bit-identical gradients and equal PeakLiveGrads between Network.Backward
+// and the concurrent executor. One executor instance serves every case, so
+// cross-network state reuse is covered too.
+func TestConcurrentExecutorDifferential(t *testing.T) {
+	e := NewExecutor(ExecConcurrent, 3)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(99))
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, gmp := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(gmp)
+		for _, tc := range execCases() {
+			net := tc.build()
+			L := len(net.Layers)
+			logits := net.Forward(tc.x)
+			_, lossGrad := nn.SoftmaxCrossEntropy(logits, tc.labels)
+			for si, sched := range caseSchedules(L, rng) {
+				label := fmt.Sprintf("gomaxprocs=%d %s sched=%d", gmp, tc.name, si)
+
+				net.ZeroGrads()
+				serialStats, err := net.Backward(lossGrad, sched)
+				if err != nil {
+					t.Fatalf("%s: serial: %v", label, err)
+				}
+				want := GradSnapshot(net)
+
+				net.ZeroGrads()
+				concStats, err := e.Backward(net, lossGrad, sched)
+				if err != nil {
+					t.Fatalf("%s: concurrent: %v", label, err)
+				}
+				got := GradSnapshot(net)
+
+				if !SnapshotsEqual(want, got) {
+					t.Fatalf("%s: concurrent gradients differ from serial", label)
+				}
+				if concStats.PeakLiveGrads != serialStats.PeakLiveGrads {
+					t.Fatalf("%s: PeakLiveGrads %d (concurrent) != %d (serial)",
+						label, concStats.PeakLiveGrads, serialStats.PeakLiveGrads)
+				}
+			}
+		}
+	}
+}
+
+// TestExecutorSerialModeMatchesNetworkBackward: serial-mode and nil executors
+// delegate to the plain walk.
+func TestExecutorSerialModeMatchesNetworkBackward(t *testing.T) {
+	net := mlp(21, 8, 3)
+	x, labels := data.Vectors(23, 8, 8, 3)
+	logits := net.Forward(x)
+	_, lossGrad := nn.SoftmaxCrossEntropy(logits, labels)
+	sched := graph.ReverseFirstK(len(net.Layers), 3)
+
+	net.ZeroGrads()
+	wantStats, err := net.Backward(lossGrad, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GradSnapshot(net)
+
+	for _, e := range []*Executor{nil, NewExecutor(ExecSerial, 0)} {
+		net.ZeroGrads()
+		st, err := e.Backward(net, lossGrad, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != wantStats {
+			t.Fatalf("stats %+v, want %+v", st, wantStats)
+		}
+		if !SnapshotsEqual(want, GradSnapshot(net)) {
+			t.Fatal("serial-mode executor gradients differ")
+		}
+		e.Close() // no-op, must not panic
+	}
+}
+
+// TestFitWithConcurrentExecutor: a whole training trajectory (losses and
+// final weights) is identical across engines.
+func TestFitWithConcurrentExecutor(t *testing.T) {
+	x, labels := data.Vectors(31, 24, 10, 3)
+	run := func(exec *Executor) ([]float64, map[string]*tensor.Tensor) {
+		net := MLPNet(41, 10, 16, 2, 3)
+		opt := &nn.Momentum{LR: 0.05, Beta: 0.9}
+		losses, err := Fit(net, x, labels, opt, FitConfig{
+			Epochs:    3,
+			BatchSize: 8,
+			Schedule:  graph.ReverseFirstK(len(net.Layers), 3),
+			Seed:      1,
+			Exec:      exec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return losses, ParamSnapshot(net)
+	}
+	serialLoss, serialW := run(nil)
+	e := NewExecutor(ExecConcurrent, 2)
+	defer e.Close()
+	concLoss, concW := run(e)
+	for i := range serialLoss {
+		if serialLoss[i] != concLoss[i] {
+			t.Fatalf("epoch %d loss diverged: %v vs %v", i, serialLoss[i], concLoss[i])
+		}
+	}
+	if !SnapshotsEqual(serialW, concW) {
+		t.Fatal("weights diverged across executors")
+	}
+}
+
+// TestExecutorRejectsIllegalSchedule: validation errors surface before any
+// work is dispatched.
+func TestExecutorRejectsIllegalSchedule(t *testing.T) {
+	e := NewExecutor(ExecConcurrent, 2)
+	defer e.Close()
+	net := mlp(1, 8, 3)
+	x, labels := data.Vectors(2, 4, 8, 3)
+	logits := net.Forward(x)
+	_, lossGrad := nn.SoftmaxCrossEntropy(logits, labels)
+	bad := graph.BackwardSchedule{{Kind: graph.WeightGrad, Layer: 1}}
+	if _, err := e.Backward(net, lossGrad, bad); err == nil {
+		t.Fatal("illegal schedule accepted")
+	}
+}
+
+// TestExecutorTraceShowsOverlap: the recorded trace has the δO chain on its
+// own lane, every δW on a worker lane, and one span per op.
+func TestExecutorTraceShowsOverlap(t *testing.T) {
+	e := NewExecutor(ExecConcurrent, 2)
+	defer e.Close()
+	net := mlp(51, 8, 3)
+	L := len(net.Layers)
+	x, labels := data.Vectors(53, 8, 8, 3)
+	logits := net.Forward(x)
+	_, lossGrad := nn.SoftmaxCrossEntropy(logits, labels)
+
+	var tr trace.Trace
+	e.SetTrace(&tr)
+	defer e.SetTrace(nil)
+	if _, err := e.Backward(net, lossGrad, graph.ReverseFirstK(L, L)); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans
+	if len(spans) != 2*L {
+		t.Fatalf("%d spans, want %d", len(spans), 2*L)
+	}
+	kinds := map[string]int{}
+	for _, s := range spans {
+		kinds[s.Kind]++
+		switch s.Kind {
+		case "dO":
+			if s.Lane != "dO-chain" {
+				t.Fatalf("dO span on lane %q", s.Lane)
+			}
+		case "dW":
+			if s.Lane == "dO-chain" {
+				t.Fatalf("dW span on the critical lane")
+			}
+		}
+	}
+	if kinds["dO"] != L || kinds["dW"] != L {
+		t.Fatalf("span kinds = %v, want %d of each", kinds, L)
+	}
+	if _, err := tr.ChromeJSON(); err != nil {
+		t.Fatalf("chrome trace: %v", err)
+	}
+}
+
+// TestParamsCached: the parameter list is built once; ZeroGrads and
+// snapshots on the warm path do not re-collect it.
+func TestParamsCached(t *testing.T) {
+	net := mlp(61, 8, 3)
+	first := net.Params()
+	if len(first) == 0 {
+		t.Fatal("no params")
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if len(net.Params()) != len(first) {
+			t.Fatal("param count changed")
+		}
+	}); n != 0 {
+		t.Fatalf("cached Params allocates %v per call, want 0", n)
+	}
+	net.InvalidateParams()
+	again := net.Params()
+	if len(again) != len(first) {
+		t.Fatalf("rebuilt params %d, want %d", len(again), len(first))
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatal("rebuilt param list differs")
+		}
+	}
+}
+
+// TestConcurrentExecutorWarmPathAllocs: once warm, the concurrent engine's
+// dispatch machinery adds no allocations over the layers' own compute — it
+// allocates strictly less than the serial walk (which builds its bookkeeping
+// slices per call).
+func TestConcurrentExecutorWarmPathAllocs(t *testing.T) {
+	net := MLPNet(71, 16, 24, 3, 3)
+	L := len(net.Layers)
+	x, labels := data.Vectors(73, 8, 16, 3)
+	logits := net.Forward(x)
+	_, lossGrad := nn.SoftmaxCrossEntropy(logits, labels)
+	sched := graph.ReverseFirstK(L, L/2)
+
+	serial := testing.AllocsPerRun(10, func() {
+		if _, err := net.Backward(lossGrad, sched); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	e := NewExecutor(ExecConcurrent, 2)
+	defer e.Close()
+	if _, err := e.Backward(net, lossGrad, sched); err != nil { // warm up state + analysis cache
+		t.Fatal(err)
+	}
+	conc := testing.AllocsPerRun(10, func() {
+		if _, err := e.Backward(net, lossGrad, sched); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if conc > serial {
+		t.Fatalf("concurrent warm path allocates %v per pass, serial %v — dispatch machinery must add nothing", conc, serial)
+	}
+}

@@ -68,6 +68,10 @@ type FitConfig struct {
 	SetLR func(float64)
 	// Seed shuffles batches per epoch deterministically.
 	Seed uint64
+	// Exec selects the backward execution engine (nil = serial). A concurrent
+	// executor overlaps δW work with the δO chain without changing any
+	// gradient bit, so trajectories are identical across engines.
+	Exec *Executor
 }
 
 // Fit trains the network and returns the mean loss of each epoch. It is the
@@ -97,7 +101,7 @@ func Fit(n *Network, x *tensor.Tensor, labels []int, opt nn.Optimizer, cfg FitCo
 			if cfg.LR != nil {
 				cfg.SetLR(cfg.LR(step))
 			}
-			loss, err := Step(n, b.X, b.Labels, sched, opt)
+			loss, err := cfg.Exec.Step(n, b.X, b.Labels, sched, opt)
 			if err != nil {
 				return nil, err
 			}

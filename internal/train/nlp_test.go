@@ -4,44 +4,21 @@ import (
 	"testing"
 
 	"oooback/internal/core"
-	"oooback/internal/data"
 	"oooback/internal/graph"
 	"oooback/internal/nn"
 	"oooback/internal/tensor"
 )
 
-// tokenModel builds an NLP-shaped stack: embedding → layernorm → mean-pool
-// over the sequence → MLP head. Six layers with heterogeneous δW structure
-// (scatter-add, reductions, GEMMs) — a stronger semantics check than the
-// CNN/MLP ones.
+// tokenModel builds the NLP-shaped stack (TokenNet with a 16-wide head):
+// six layers with heterogeneous δW structure (scatter-add, reductions,
+// GEMMs) — a stronger semantics check than the CNN/MLP ones.
 func tokenModel(seed uint64, vocab, dim, seqLen, classes int) *Network {
-	rng := tensor.NewRNG(seed)
-	return &Network{Layers: []nn.Layer{
-		nn.NewEmbedding("emb", vocab, dim, rng),
-		nn.NewLayerNorm("ln", dim, rng),
-		nn.NewMeanPool1D("pool", seqLen),
-		nn.NewDense("fc1", dim, 16, rng),
-		nn.NewReLU("relu"),
-		nn.NewDense("fc2", 16, classes, rng),
-	}}
+	return TokenNet(seed, vocab, dim, seqLen, 16, classes)
 }
 
-// tokenBatch flattens token sequences into the [batch·seq] id tensor the
-// embedding consumes, with labels derived from token statistics so the task
-// is learnable.
+// tokenBatch is TokenBatch (kept as a short local alias).
 func tokenBatch(seed uint64, batch, seqLen, vocab, classes int) (*tensor.Tensor, []int) {
-	seqs := data.Tokens(seed, batch, seqLen, vocab)
-	x := tensor.New(batch * seqLen)
-	labels := make([]int, batch)
-	for i, s := range seqs {
-		sum := 0
-		for j, tok := range s {
-			x.Data[i*seqLen+j] = float64(tok)
-			sum += tok
-		}
-		labels[i] = sum % classes
-	}
-	return x, labels
+	return TokenBatch(seed, batch, seqLen, vocab, classes)
 }
 
 func TestNLPSemanticsPreservation(t *testing.T) {

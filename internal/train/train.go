@@ -18,16 +18,29 @@ import (
 // Network is an ordered stack of layers.
 type Network struct {
 	Layers []nn.Layer
+
+	// params caches the flattened parameter list. ZeroGrads, optimizer steps
+	// and snapshots all walk it every training step, so rebuilding it each
+	// call dominated per-step overhead in tight Fit loops.
+	params []*nn.Param
 }
 
-// Params collects all learnable parameters in layer order.
+// Params collects all learnable parameters in layer order. The list is
+// computed once and cached; call InvalidateParams after mutating Layers.
 func (n *Network) Params() []*nn.Param {
-	var out []*nn.Param
-	for _, l := range n.Layers {
-		out = append(out, l.Params()...)
+	if n.params == nil {
+		out := make([]*nn.Param, 0, 2*len(n.Layers))
+		for _, l := range n.Layers {
+			out = append(out, l.Params()...)
+		}
+		n.params = out
 	}
-	return out
+	return n.params
 }
+
+// InvalidateParams drops the cached parameter list so the next Params call
+// rebuilds it. Needed only if Layers is modified after first use.
+func (n *Network) InvalidateParams() { n.params = nil }
 
 // ZeroGrads clears every parameter gradient.
 func (n *Network) ZeroGrads() {
@@ -102,16 +115,10 @@ func (n *Network) Backward(lossGrad *tensor.Tensor, sched graph.BackwardSchedule
 }
 
 // Step runs one full training step (forward, loss, backward in the given
-// order, optimizer update) and returns the loss.
+// order, optimizer update) on the serial engine and returns the loss.
+// Executor.Step is the engine-selectable form.
 func Step(n *Network, x *tensor.Tensor, labels []int, sched graph.BackwardSchedule, opt nn.Optimizer) (float64, error) {
-	n.ZeroGrads()
-	logits := n.Forward(x)
-	loss, grad := nn.SoftmaxCrossEntropy(logits, labels)
-	if _, err := n.Backward(grad, sched); err != nil {
-		return 0, err
-	}
-	opt.Step(n.Params())
-	return loss, nil
+	return (*Executor)(nil).Step(n, x, labels, sched, opt)
 }
 
 // GradSnapshot deep-copies every parameter gradient, keyed by name.

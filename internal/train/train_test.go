@@ -12,16 +12,9 @@ import (
 	"oooback/internal/tensor"
 )
 
-// mlp builds a deterministic 4-layer MLP (Dense→ReLU→Dense→ReLU→... head).
+// mlp builds a deterministic 5-layer MLP (two Dense→ReLU blocks plus head).
 func mlp(seed uint64, dim, classes int) *Network {
-	rng := tensor.NewRNG(seed)
-	return &Network{Layers: []nn.Layer{
-		nn.NewDense("fc1", dim, 32, rng),
-		nn.NewReLU("relu1"),
-		nn.NewDense("fc2", 32, 32, rng),
-		nn.NewReLU("relu2"),
-		nn.NewDense("fc3", 32, classes, rng),
-	}}
+	return MLPNet(seed, dim, 32, 2, classes)
 }
 
 // cnnEven builds a small conv net over 1×9×9 inputs.
@@ -89,17 +82,7 @@ func TestSemanticsPreservation(t *testing.T) {
 
 // reverseKOrder mirrors core.ReverseFirstK without the model dependency.
 func reverseKOrder(L, k int) graph.BackwardSchedule {
-	var s graph.BackwardSchedule
-	for i := L; i >= 1; i-- {
-		if i > k {
-			s = append(s, graph.Op{Kind: graph.WeightGrad, Layer: i})
-		}
-		s = append(s, graph.Op{Kind: graph.OutGrad, Layer: i})
-	}
-	for i := 1; i <= k; i++ {
-		s = append(s, graph.Op{Kind: graph.WeightGrad, Layer: i})
-	}
-	return s
+	return graph.ReverseFirstK(L, k)
 }
 
 // TestSemanticsPreservationCNN repeats the check on a conv net, including
