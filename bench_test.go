@@ -212,6 +212,102 @@ func BenchmarkTensorConv2D(b *testing.B) {
 	}
 }
 
+// TensorKernel micro-benchmarks: the fused-transpose GEMMs and the pooled
+// conv lowerings that carry the real training hot path. The Into forms run on
+// a warm workspace, so steady state is allocation-free (asserted by
+// TestAllocsTensorKernelsWarm below).
+
+func BenchmarkTensorKernelMatMulT(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.Randn(rng, 1, 128, 128)
+	y := tensor.Randn(rng, 1, 128, 128)
+	dst := tensor.New(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulTInto(dst, x, y)
+	}
+}
+
+func BenchmarkTensorKernelTMatMul(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.Randn(rng, 1, 128, 128)
+	y := tensor.Randn(rng, 1, 128, 128)
+	dst := tensor.New(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.TMatMulInto(dst, x, y)
+	}
+}
+
+func BenchmarkTensorKernelIm2col(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.Randn(rng, 1, 8, 8, 16, 16)
+	dst := tensor.New(8*14*14, 8*3*3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Im2colInto(dst, x, 3, 3)
+	}
+}
+
+// TestAllocsTensorKernelsWarm pins the zero-alloc contract of the pooled
+// kernel layer: fused GEMMs, conv lowerings and repacks into workspace
+// buffers never touch the allocator once the workspace is warm.
+func TestAllocsTensorKernelsWarm(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	a := tensor.Randn(rng, 1, 64, 48)
+	bb := tensor.Randn(rng, 1, 64, 48)
+	x := tensor.Randn(rng, 1, 2, 3, 12, 12)
+	g := tensor.Randn(rng, 1, 2, 5, 10, 10)
+	ws := tensor.NewWorkspace()
+	run := func() {
+		mm := ws.Get(64, 64)
+		tensor.MatMulTInto(mm, a, bb) // a·bᵀ
+		tm := ws.Get(48, 48)
+		tensor.TMatMulInto(tm, a, bb) // aᵀ·b
+		cols := ws.Get(2*10*10, 3*3*3)
+		tensor.Im2colInto(cols, x, 3, 3)
+		im := ws.Get(2, 3, 12, 12)
+		tensor.Col2imInto(im, cols, 3, 3)
+		rows := ws.Get(2*10*10, 5)
+		tensor.RowsFromNCHWInto(rows, g)
+		tensor.NCHWFromRowsInto(g, rows)
+		ws.Put(rows)
+		ws.Put(im)
+		ws.Put(cols)
+		ws.Put(tm)
+		ws.Put(mm)
+	}
+	run() // warm the workspace bins
+	if n := testing.AllocsPerRun(20, run); n != 0 {
+		t.Fatalf("warm tensor kernels allocate %v times per run, want 0", n)
+	}
+}
+
+// TestAllocsTrainBackwardWarm: a warm backward pass through the pooled
+// serial executor — the BenchmarkTrainBackward serial hot loop — performs
+// zero allocations end to end.
+func TestAllocsTrainBackwardWarm(t *testing.T) {
+	net := train.MLPNet(11, 64, 96, 4, 4)
+	L := len(net.Layers)
+	x, labels := data.Vectors(3, 32, 64, 4)
+	logits := net.Forward(x)
+	_, lossGrad := nn.SoftmaxCrossEntropy(logits, labels)
+	exec := train.NewExecutor(train.ExecSerial, 0)
+	sched := graph.ReverseFirstK(L, L)
+	run := func() {
+		if _, err := exec.Backward(net, lossGrad, sched); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm retained layer buffers and the chain workspace
+	if n := testing.AllocsPerRun(20, run); n != 0 {
+		t.Fatalf("warm serial backward allocates %v times per run, want 0", n)
+	}
+}
+
 func BenchmarkMemoryProfile(b *testing.B) {
 	m := models.DenseNet(models.V100Profile(), 169, 32, 64, models.ImageNet)
 	s := graph.Conventional(len(m.Layers))
@@ -265,11 +361,11 @@ func BenchmarkTrainBackward(b *testing.B) {
 			{"reverse-first-k", graph.ReverseFirstK(L, L)},
 		} {
 			b.Run(mode.String()+"/"+sc.name, func(b *testing.B) {
-				var exec *train.Executor
-				if mode == train.ExecConcurrent {
-					exec = train.NewExecutor(train.ExecConcurrent, 0)
-					b.Cleanup(exec.Close)
-				}
+				// Both modes run through an Executor so they use the pooled
+				// zero-alloc engines; a nil executor would fall back to the
+				// naive allocating Network.Backward reference.
+				exec := train.NewExecutor(mode, 0)
+				b.Cleanup(exec.Close)
 				if _, err := exec.Backward(net, lossGrad, sc.sched); err != nil {
 					b.Fatal(err)
 				}

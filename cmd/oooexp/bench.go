@@ -19,6 +19,7 @@ import (
 	"oooback/internal/nn"
 	"oooback/internal/plansvc"
 	"oooback/internal/sim"
+	"oooback/internal/tensor"
 	"oooback/internal/train"
 )
 
@@ -88,10 +89,12 @@ type namedBench struct {
 	fn   func(b *testing.B)
 }
 
-// trainBackwardBench measures one real backward pass: the serial walk under
-// the conventional schedule, or the concurrent executor under reverse-first-k
-// (the out-of-order order that exposes δW parallelism). Same networks as
-// `oooexp exec`.
+// trainBackwardBench measures one real backward pass: the pooled serial
+// engine under the conventional schedule, or the concurrent executor under
+// reverse-first-k (the out-of-order order that exposes δW parallelism). Same
+// networks as `oooexp exec`. Both rows run through an Executor (the pooled
+// zero-alloc engines); the naive allocating Network.Backward walk is a
+// correctness reference, not a benchmark row.
 func trainBackwardBench(kind string, concurrent bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		var en execNet
@@ -104,13 +107,13 @@ func trainBackwardBench(kind string, concurrent bool) func(b *testing.B) {
 		logits := en.net.Forward(en.x)
 		_, lossGrad := nn.SoftmaxCrossEntropy(logits, en.labels)
 		sched := graph.Conventional(L)
-		exec := (*train.Executor)(nil)
+		mode := train.ExecSerial
 		if concurrent {
 			sched = graph.ReverseFirstK(L, L)
-			e := train.NewExecutor(train.ExecConcurrent, 0)
-			b.Cleanup(e.Close)
-			exec = e
+			mode = train.ExecConcurrent
 		}
+		exec := train.NewExecutor(mode, 0)
+		b.Cleanup(exec.Close)
 		if _, err := exec.Backward(en.net, lossGrad, sched); err != nil {
 			b.Fatal(err)
 		}
@@ -218,6 +221,38 @@ func benchList() []namedBench {
 				b.Fatalf("load run failed: %+v", rep)
 			}
 			b.ReportMetric(rep.OpsPerSec, "ops/s")
+		}},
+		{"TensorKernelMatMulT", func(b *testing.B) {
+			rng := tensor.NewRNG(1)
+			x := tensor.Randn(rng, 1, 128, 128)
+			y := tensor.Randn(rng, 1, 128, 128)
+			dst := tensor.New(128, 128)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulTInto(dst, x, y)
+			}
+		}},
+		{"TensorKernelTMatMul", func(b *testing.B) {
+			rng := tensor.NewRNG(1)
+			x := tensor.Randn(rng, 1, 128, 128)
+			y := tensor.Randn(rng, 1, 128, 128)
+			dst := tensor.New(128, 128)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.TMatMulInto(dst, x, y)
+			}
+		}},
+		{"TensorKernelIm2col", func(b *testing.B) {
+			rng := tensor.NewRNG(1)
+			x := tensor.Randn(rng, 1, 8, 8, 16, 16)
+			dst := tensor.New(8*14*14, 8*3*3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.Im2colInto(dst, x, 3, 3)
+			}
 		}},
 		{"TrainBackwardMLPSerial", trainBackwardBench("mlp", false)},
 		{"TrainBackwardMLPConcurrent", trainBackwardBench("mlp", true)},

@@ -21,6 +21,7 @@ type SelfAttention struct {
 	q, k, v *tensor.Tensor
 	attn    *tensor.Tensor // softmax rows [seq, seq]
 	scale   float64
+	gin     *tensor.Tensor // retained InputGradWS output buffer
 }
 
 // NewSelfAttention creates the layer with deterministic init.
@@ -44,7 +45,7 @@ func (a *SelfAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
 	a.q = tensor.MatMul(x, a.Wq.Value)
 	a.k = tensor.MatMul(x, a.Wk.Value)
 	a.v = tensor.MatMul(x, a.Wv.Value)
-	scores := tensor.Scale(tensor.MatMul(a.q, tensor.Transpose(a.k)), a.scale)
+	scores := tensor.Scale(tensor.MatMulT(a.q, a.k), a.scale) // Q·Kᵀ, fused
 	a.attn = softmaxRows(scores)
 	return tensor.MatMul(a.attn, a.v)
 }
@@ -79,8 +80,8 @@ func softmaxRows(s *tensor.Tensor) *tensor.Tensor {
 // call recomputes it so the two stay independent (callable in either order).
 func (a *SelfAttention) backThroughScores(gradOut *tensor.Tensor) (dq, dk, dv *tensor.Tensor) {
 	// out = attn·v.
-	dAttn := tensor.MatMul(gradOut, tensor.Transpose(a.v))
-	dv = tensor.MatMul(tensor.Transpose(a.attn), gradOut)
+	dAttn := tensor.MatMulT(gradOut, a.v)
+	dv = tensor.TMatMul(a.attn, gradOut)
 	// Softmax backward per row: ds = attn ⊙ (dAttn − Σ dAttn⊙attn).
 	rows, cols := a.attn.Shape[0], a.attn.Shape[1]
 	dScores := tensor.New(rows, cols)
@@ -94,24 +95,23 @@ func (a *SelfAttention) backThroughScores(gradOut *tensor.Tensor) (dq, dk, dv *t
 		}
 	}
 	dq = tensor.MatMul(dScores, a.k)
-	dk = tensor.MatMul(tensor.Transpose(dScores), a.q)
+	dk = tensor.TMatMul(dScores, a.q)
 	return dq, dk, dv
 }
 
 func (a *SelfAttention) InputGrad(gradOut *tensor.Tensor) *tensor.Tensor {
 	dq, dk, dv := a.backThroughScores(gradOut)
-	gin := tensor.MatMul(dq, tensor.Transpose(a.Wq.Value))
-	tensor.AddTo(gin, tensor.MatMul(dk, tensor.Transpose(a.Wk.Value)))
-	tensor.AddTo(gin, tensor.MatMul(dv, tensor.Transpose(a.Wv.Value)))
+	gin := tensor.MatMulT(dq, a.Wq.Value)
+	tensor.AddTo(gin, tensor.MatMulT(dk, a.Wk.Value))
+	tensor.AddTo(gin, tensor.MatMulT(dv, a.Wv.Value))
 	return gin
 }
 
 func (a *SelfAttention) WeightGrad(gradOut *tensor.Tensor) {
 	dq, dk, dv := a.backThroughScores(gradOut)
-	xT := tensor.Transpose(a.x)
-	tensor.AddTo(a.Wq.Grad, tensor.MatMul(xT, dq))
-	tensor.AddTo(a.Wk.Grad, tensor.MatMul(xT, dk))
-	tensor.AddTo(a.Wv.Grad, tensor.MatMul(xT, dv))
+	tensor.AddTo(a.Wq.Grad, tensor.TMatMul(a.x, dq))
+	tensor.AddTo(a.Wk.Grad, tensor.TMatMul(a.x, dk))
+	tensor.AddTo(a.Wv.Grad, tensor.TMatMul(a.x, dv))
 }
 
 func (a *SelfAttention) Params() []*Param { return []*Param{a.Wq, a.Wk, a.Wv} }

@@ -19,6 +19,7 @@ type Embedding struct {
 	dim  int
 	ids  []int
 	inSh []int
+	gin  *tensor.Tensor // retained InputGradWS output buffer
 }
 
 // NewEmbedding creates a vocab×dim embedding table.
@@ -76,6 +77,7 @@ type LayerNorm struct {
 	xhat        *tensor.Tensor
 	invStd      []float64
 	rows, width int
+	gin         *tensor.Tensor // retained InputGradWS output buffer
 }
 
 // NewLayerNorm creates a LayerNorm over the trailing dimension of size dim.
@@ -163,6 +165,7 @@ type MeanPool1D struct {
 	name  string
 	group int
 	rows  int
+	gin   *tensor.Tensor // retained InputGradWS output buffer
 }
 
 // NewMeanPool1D pools every `group` rows.
@@ -217,6 +220,7 @@ type Dropout struct {
 	p    float64
 	rng  *tensor.RNG
 	keep []bool
+	gin  *tensor.Tensor // retained InputGradWS output buffer
 }
 
 // NewDropout creates a dropout layer with drop probability p ∈ [0, 1).

@@ -46,6 +46,7 @@ type Dense struct {
 	name string
 	W, B *Param
 	x    *tensor.Tensor
+	gin  *tensor.Tensor // retained InputGradWS output buffer
 }
 
 // NewDense creates a Dense layer with deterministic Xavier-style init.
@@ -73,11 +74,11 @@ func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 }
 
 func (d *Dense) InputGrad(gradOut *tensor.Tensor) *tensor.Tensor {
-	return tensor.MatMul(gradOut, tensor.Transpose(d.W.Value))
+	return tensor.MatMulT(gradOut, d.W.Value) // g·Wᵀ without the transposed copy
 }
 
 func (d *Dense) WeightGrad(gradOut *tensor.Tensor) {
-	tensor.AddTo(d.W.Grad, tensor.MatMul(tensor.Transpose(d.x), gradOut))
+	tensor.AddTo(d.W.Grad, tensor.TMatMul(d.x, gradOut)) // xᵀ·g, fused
 	tensor.AddTo(d.B.Grad, tensor.SumRows(gradOut).Reshape(1, gradOut.Shape[1]))
 }
 
@@ -87,6 +88,7 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 type ReLU struct {
 	name string
 	mask []bool
+	gin  *tensor.Tensor // retained InputGradWS output buffer
 }
 
 // NewReLU creates a ReLU layer.
@@ -120,12 +122,22 @@ func (r *ReLU) InputGrad(gradOut *tensor.Tensor) *tensor.Tensor {
 func (r *ReLU) WeightGrad(*tensor.Tensor) {}
 func (r *ReLU) Params() []*Param          { return nil }
 
-// Conv2D is a valid (no padding), stride-1 convolution layer.
+// Conv2D is a valid (no padding), stride-1 convolution layer. Forward runs
+// the im2col lowering once and caches it, so the δW computation reuses the
+// forward lowering instead of rebuilding the (large) column matrix — removing
+// the redundant data movement the paper's §4.1 attributes to the weight
+// gradient kernel.
 type Conv2D struct {
 	name   string
 	W      *Param
 	kh, kw int
 	x      *tensor.Tensor
+
+	wm   *tensor.Tensor // cached [F, C·KH·KW] view of W.Value
+	cols *tensor.Tensor // forward im2col lowering, reused by WeightGrad
+	rows *tensor.Tensor // retained [N·OH·OW, F] GEMM output buffer
+	out  *tensor.Tensor // retained forward output buffer
+	gin  *tensor.Tensor // retained InputGradWS output buffer
 }
 
 // NewConv2D creates a convolution with f filters of c×kh×kw.
@@ -141,7 +153,21 @@ func (l *Conv2D) Name() string { return l.name }
 
 func (l *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	l.x = x
-	return tensor.Conv2D(x, l.W.Value)
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	f := l.W.Value.Shape[0]
+	if c != l.W.Value.Shape[1] {
+		panic(fmt.Sprintf("nn: %s input channels %d vs weight channels %d", l.name, c, l.W.Value.Shape[1]))
+	}
+	oh, ow := h-l.kh+1, w-l.kw+1
+	if l.wm == nil {
+		l.wm = l.W.Value.Reshape(f, c*l.kh*l.kw)
+	}
+	l.cols = tensor.Ensure(l.cols, n*oh*ow, c*l.kh*l.kw)
+	tensor.Im2colInto(l.cols, x, l.kh, l.kw)
+	l.rows = tensor.Ensure(l.rows, n*oh*ow, f)
+	tensor.MatMulTInto(l.rows, l.cols, l.wm) // cols·wmᵀ, no transposed weights
+	l.out = tensor.Ensure(l.out, n, f, oh, ow)
+	return tensor.NCHWFromRowsInto(l.out, l.rows)
 }
 
 func (l *Conv2D) InputGrad(gradOut *tensor.Tensor) *tensor.Tensor {
@@ -149,7 +175,10 @@ func (l *Conv2D) InputGrad(gradOut *tensor.Tensor) *tensor.Tensor {
 }
 
 func (l *Conv2D) WeightGrad(gradOut *tensor.Tensor) {
-	tensor.AddTo(l.W.Grad, tensor.Conv2DWeightGrad(l.x, gradOut, l.kh, l.kw))
+	n, f, oh, ow := gradOut.Shape[0], gradOut.Shape[1], gradOut.Shape[2], gradOut.Shape[3]
+	rows := tensor.RowsFromNCHWInto(tensor.New(n*oh*ow, f), gradOut)
+	// Reuse the forward pass's im2col lowering; same bits as recomputing it.
+	tensor.AddFlatTo(l.W.Grad, tensor.TMatMul(rows, l.cols))
 }
 
 func (l *Conv2D) Params() []*Param { return []*Param{l.W} }
@@ -159,6 +188,7 @@ type MaxPool2 struct {
 	name    string
 	arg     []int
 	inShape []int
+	gin     *tensor.Tensor // retained InputGradWS output buffer
 }
 
 // NewMaxPool2 creates the pooling layer.
@@ -184,6 +214,7 @@ func (l *MaxPool2) Params() []*Param          { return nil }
 type Flatten struct {
 	name    string
 	inShape []int
+	gview   *tensor.Tensor // retained view header for InputGradWS
 }
 
 // NewFlatten creates the reshaping layer.

@@ -1,0 +1,222 @@
+package nn
+
+import "oooback/internal/tensor"
+
+// WorkspaceBackward is the optional pooled backward interface. A layer that
+// implements it computes the same gradients as InputGrad/WeightGrad — bit for
+// bit — but without touching the allocator on warm steps: transient scratch
+// comes from the caller-supplied workspace (Get/Put strictly within the
+// call), and the returned δO lives in a buffer the layer retains across
+// steps.
+//
+// Ownership rules:
+//
+//   - The workspace is owned by the calling goroutine. The executor gives its
+//     δO chain and each δW worker lane a private workspace, so pooled
+//     backward never synchronizes on buffers.
+//   - The tensor returned by InputGradWS is valid until the layer's next
+//     backward call. Training steps are serialized by the executor's
+//     end-of-backward barrier, so handing it to the previous layer's δO and
+//     δW (which may run much later, on another lane) is safe.
+//   - InputGradWS and WeightGradWS stay independent — callable in either
+//     order, any schedule distance apart — exactly like the plain methods.
+//
+// Every layer in this package implements the interface; it stays optional so
+// the naive allocating path (Network.Backward) survives as the differential
+// reference the executor tests compare against.
+type WorkspaceBackward interface {
+	// InputGradWS is δO into a layer-retained buffer.
+	InputGradWS(gradOut *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor
+	// WeightGradWS is δW using workspace scratch for intermediates.
+	WeightGradWS(gradOut *tensor.Tensor, ws *tensor.Workspace)
+}
+
+func (d *Dense) InputGradWS(gradOut *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	d.gin = tensor.Ensure(d.gin, gradOut.Shape[0], d.W.Value.Shape[0])
+	return tensor.MatMulTInto(d.gin, gradOut, d.W.Value)
+}
+
+func (d *Dense) WeightGradWS(gradOut *tensor.Tensor, ws *tensor.Workspace) {
+	// GEMM into scratch, then accumulate: adding term-by-term directly into a
+	// nonzero Grad would associate the sums differently and change bits.
+	dw := ws.Get(d.W.Value.Shape[0], d.W.Value.Shape[1])
+	tensor.AddTo(d.W.Grad, tensor.TMatMulInto(dw, d.x, gradOut))
+	ws.Put(dw)
+	db := ws.Get(1, gradOut.Shape[1])
+	tensor.AddTo(d.B.Grad, tensor.SumRowsInto(db, gradOut))
+	ws.Put(db)
+}
+
+func (r *ReLU) InputGradWS(gradOut *tensor.Tensor, _ *tensor.Workspace) *tensor.Tensor {
+	r.gin = tensor.Ensure(r.gin, gradOut.Shape...)
+	for i, v := range gradOut.Data {
+		if r.mask[i] {
+			r.gin.Data[i] = v
+		} else {
+			r.gin.Data[i] = 0
+		}
+	}
+	return r.gin
+}
+
+func (r *ReLU) WeightGradWS(*tensor.Tensor, *tensor.Workspace) {}
+
+func (l *Conv2D) InputGradWS(gradOut *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	n, f, oh, ow := gradOut.Shape[0], gradOut.Shape[1], gradOut.Shape[2], gradOut.Shape[3]
+	c, h, w := l.x.Shape[1], l.x.Shape[2], l.x.Shape[3]
+	rows := tensor.RowsFromNCHWInto(ws.Get(n*oh*ow, f), gradOut)
+	colGrad := tensor.MatMulInto(ws.Get(n*oh*ow, c*l.kh*l.kw), rows, l.wm)
+	l.gin = tensor.Ensure(l.gin, n, c, h, w)
+	tensor.Col2imInto(l.gin, colGrad, l.kh, l.kw)
+	ws.Put(colGrad)
+	ws.Put(rows)
+	return l.gin
+}
+
+func (l *Conv2D) WeightGradWS(gradOut *tensor.Tensor, ws *tensor.Workspace) {
+	n, f, oh, ow := gradOut.Shape[0], gradOut.Shape[1], gradOut.Shape[2], gradOut.Shape[3]
+	rows := tensor.RowsFromNCHWInto(ws.Get(n*oh*ow, f), gradOut)
+	// Reuses the forward pass's cached im2col lowering (l.cols).
+	dw := tensor.TMatMulInto(ws.Get(f, l.cols.Shape[1]), rows, l.cols)
+	tensor.AddFlatTo(l.W.Grad, dw)
+	ws.Put(dw)
+	ws.Put(rows)
+}
+
+func (l *MaxPool2) InputGradWS(gradOut *tensor.Tensor, _ *tensor.Workspace) *tensor.Tensor {
+	l.gin = tensor.Ensure(l.gin, l.inShape...)
+	return tensor.MaxPool2GradInto(l.gin, gradOut, l.arg)
+}
+
+func (l *MaxPool2) WeightGradWS(*tensor.Tensor, *tensor.Workspace) {}
+
+func (l *Flatten) InputGradWS(gradOut *tensor.Tensor, _ *tensor.Workspace) *tensor.Tensor {
+	// A reshaped alias of gradOut, like the plain path — only the view header
+	// is retained, never the data.
+	if l.gview == nil {
+		l.gview = &tensor.Tensor{Shape: make([]int, 0, 4)}
+	}
+	l.gview.Shape = append(l.gview.Shape[:0], l.inShape...)
+	l.gview.Data = gradOut.Data
+	return l.gview
+}
+
+func (l *Flatten) WeightGradWS(*tensor.Tensor, *tensor.Workspace) {}
+
+// backThroughScoresWS is backThroughScores with all four intermediates in
+// workspace buffers. Callers must Put dq, dk and dv when done.
+func (a *SelfAttention) backThroughScoresWS(gradOut *tensor.Tensor, ws *tensor.Workspace) (dq, dk, dv *tensor.Tensor) {
+	seq, dim := a.x.Shape[0], a.x.Shape[1]
+	dAttn := tensor.MatMulTInto(ws.Get(seq, seq), gradOut, a.v)
+	dv = tensor.TMatMulInto(ws.Get(seq, dim), a.attn, gradOut)
+	dScores := ws.Get(seq, seq)
+	rows, cols := a.attn.Shape[0], a.attn.Shape[1]
+	for r := 0; r < rows; r++ {
+		var dot float64
+		for c := 0; c < cols; c++ {
+			dot += dAttn.Data[r*cols+c] * a.attn.Data[r*cols+c]
+		}
+		for c := 0; c < cols; c++ {
+			dScores.Data[r*cols+c] = a.attn.Data[r*cols+c] * (dAttn.Data[r*cols+c] - dot) * a.scale
+		}
+	}
+	dq = tensor.MatMulInto(ws.Get(seq, dim), dScores, a.k)
+	dk = tensor.TMatMulInto(ws.Get(seq, dim), dScores, a.q)
+	ws.Put(dScores)
+	ws.Put(dAttn)
+	return dq, dk, dv
+}
+
+func (a *SelfAttention) InputGradWS(gradOut *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	seq, dim := a.x.Shape[0], a.x.Shape[1]
+	dq, dk, dv := a.backThroughScoresWS(gradOut, ws)
+	a.gin = tensor.Ensure(a.gin, seq, dim)
+	tensor.MatMulTInto(a.gin, dq, a.Wq.Value)
+	tmp := ws.Get(seq, dim)
+	tensor.AddTo(a.gin, tensor.MatMulTInto(tmp, dk, a.Wk.Value))
+	tensor.AddTo(a.gin, tensor.MatMulTInto(tmp, dv, a.Wv.Value))
+	ws.Put(tmp)
+	ws.Put(dv)
+	ws.Put(dk)
+	ws.Put(dq)
+	return a.gin
+}
+
+func (a *SelfAttention) WeightGradWS(gradOut *tensor.Tensor, ws *tensor.Workspace) {
+	dim := a.x.Shape[1]
+	dq, dk, dv := a.backThroughScoresWS(gradOut, ws)
+	dw := ws.Get(dim, dim)
+	tensor.AddTo(a.Wq.Grad, tensor.TMatMulInto(dw, a.x, dq))
+	tensor.AddTo(a.Wk.Grad, tensor.TMatMulInto(dw, a.x, dk))
+	tensor.AddTo(a.Wv.Grad, tensor.TMatMulInto(dw, a.x, dv))
+	ws.Put(dw)
+	ws.Put(dv)
+	ws.Put(dk)
+	ws.Put(dq)
+}
+
+func (e *Embedding) InputGradWS(gradOut *tensor.Tensor, _ *tensor.Workspace) *tensor.Tensor {
+	// Token ids are not differentiable; a retained zero tensor of the input
+	// shape (the plain path allocates a fresh one).
+	e.gin = tensor.Ensure(e.gin, e.inSh...)
+	e.gin.Zero()
+	return e.gin
+}
+
+func (e *Embedding) WeightGradWS(gradOut *tensor.Tensor, _ *tensor.Workspace) {
+	e.WeightGrad(gradOut) // scatter-add is already allocation-free
+}
+
+func (l *LayerNorm) InputGradWS(gradOut *tensor.Tensor, _ *tensor.Workspace) *tensor.Tensor {
+	l.gin = tensor.Ensure(l.gin, l.rows, l.width)
+	out := l.gin
+	w := float64(l.width)
+	for r := 0; r < l.rows; r++ {
+		var sumGdy, sumGdyXhat float64
+		base := r * l.width
+		for c := 0; c < l.width; c++ {
+			gdy := l.Gain.Value.Data[c] * gradOut.Data[base+c]
+			sumGdy += gdy
+			sumGdyXhat += gdy * l.xhat.Data[base+c]
+		}
+		for c := 0; c < l.width; c++ {
+			gdy := l.Gain.Value.Data[c] * gradOut.Data[base+c]
+			out.Data[base+c] = l.invStd[r] / w *
+				(w*gdy - sumGdy - l.xhat.Data[base+c]*sumGdyXhat)
+		}
+	}
+	return out
+}
+
+func (l *LayerNorm) WeightGradWS(gradOut *tensor.Tensor, _ *tensor.Workspace) {
+	l.WeightGrad(gradOut) // in-place row reduction, already allocation-free
+}
+
+func (p *MeanPool1D) InputGradWS(gradOut *tensor.Tensor, _ *tensor.Workspace) *tensor.Tensor {
+	dim := gradOut.Shape[1]
+	p.gin = tensor.Ensure(p.gin, p.rows, dim)
+	for r := 0; r < p.rows; r++ {
+		o := r / p.group
+		for c := 0; c < dim; c++ {
+			p.gin.Data[r*dim+c] = gradOut.Data[o*dim+c] / float64(p.group)
+		}
+	}
+	return p.gin
+}
+
+func (p *MeanPool1D) WeightGradWS(*tensor.Tensor, *tensor.Workspace) {}
+
+func (d *Dropout) InputGradWS(gradOut *tensor.Tensor, _ *tensor.Workspace) *tensor.Tensor {
+	d.gin = tensor.Ensure(d.gin, gradOut.Shape...)
+	scale := 1 / (1 - d.p)
+	for i, v := range gradOut.Data {
+		if d.keep[i] {
+			d.gin.Data[i] = v * scale
+		} else {
+			d.gin.Data[i] = 0
+		}
+	}
+	return d.gin
+}
+
+func (d *Dropout) WeightGradWS(*tensor.Tensor, *tensor.Workspace) {}

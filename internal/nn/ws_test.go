@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"oooback/internal/tensor"
+)
+
+// Compile-time check: every layer implements the pooled backward interface.
+var (
+	_ WorkspaceBackward = (*Dense)(nil)
+	_ WorkspaceBackward = (*ReLU)(nil)
+	_ WorkspaceBackward = (*Conv2D)(nil)
+	_ WorkspaceBackward = (*MaxPool2)(nil)
+	_ WorkspaceBackward = (*Flatten)(nil)
+	_ WorkspaceBackward = (*SelfAttention)(nil)
+	_ WorkspaceBackward = (*Embedding)(nil)
+	_ WorkspaceBackward = (*LayerNorm)(nil)
+	_ WorkspaceBackward = (*MeanPool1D)(nil)
+	_ WorkspaceBackward = (*Dropout)(nil)
+)
+
+// wsCase builds one layer plus a forward input generator (fresh data each
+// round, so buffer-reuse bugs can't hide behind identical inputs).
+type wsCase struct {
+	name  string
+	layer Layer
+	input func(r *tensor.RNG) *tensor.Tensor
+}
+
+func wsCases(r *tensor.RNG) []wsCase {
+	tokenInput := func(r *tensor.RNG) *tensor.Tensor {
+		x := tensor.New(2, 3)
+		for i := range x.Data {
+			x.Data[i] = float64(r.Uint64() % 10)
+		}
+		return x
+	}
+	return []wsCase{
+		{"dense", NewDense("d", 4, 7, r), func(r *tensor.RNG) *tensor.Tensor { return tensor.Randn(r, 1, 5, 4) }},
+		{"relu", NewReLU("r"), func(r *tensor.RNG) *tensor.Tensor { return tensor.Randn(r, 1, 5, 6) }},
+		{"conv", NewConv2D("c", 3, 2, 3, 3, r), func(r *tensor.RNG) *tensor.Tensor { return tensor.Randn(r, 1, 2, 2, 6, 6) }},
+		{"maxpool", NewMaxPool2("mp"), func(r *tensor.RNG) *tensor.Tensor { return tensor.Randn(r, 1, 1, 2, 4, 4) }},
+		{"flatten", NewFlatten("f"), func(r *tensor.RNG) *tensor.Tensor { return tensor.Randn(r, 1, 2, 3, 4, 4) }},
+		{"attention", NewSelfAttention("sa", 8, r), func(r *tensor.RNG) *tensor.Tensor { return tensor.Randn(r, 1, 6, 8) }},
+		{"embedding", NewEmbedding("e", 10, 5, r), tokenInput},
+		{"layernorm", NewLayerNorm("ln", 6, r), func(r *tensor.RNG) *tensor.Tensor { return tensor.Randn(r, 1, 4, 6) }},
+		{"meanpool", NewMeanPool1D("pool", 3), func(r *tensor.RNG) *tensor.Tensor { return tensor.Randn(r, 1, 6, 5) }},
+		{"dropout", NewDropout("do", 0.4, tensor.NewRNG(99)), func(r *tensor.RNG) *tensor.Tensor { return tensor.Randn(r, 1, 4, 6) }},
+	}
+}
+
+func bitEq(a, b *tensor.Tensor) bool {
+	if len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func zeroGrads(l Layer) {
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+}
+
+func cloneGrads(l Layer) []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, p := range l.Params() {
+		out = append(out, p.Grad.Clone())
+	}
+	return out
+}
+
+// TestWSBackwardMatchesPlainBitwise runs every layer's pooled backward against
+// the plain allocating backward and requires bit-identical δO and parameter
+// gradients — over two rounds with fresh data, so retained buffers must be
+// correctly overwritten on reuse.
+func TestWSBackwardMatchesPlainBitwise(t *testing.T) {
+	r := tensor.NewRNG(2024)
+	for _, c := range wsCases(r) {
+		t.Run(c.name, func(t *testing.T) {
+			wsl := c.layer.(WorkspaceBackward)
+			ws := tensor.NewWorkspace()
+			for round := 0; round < 2; round++ {
+				x := c.input(r)
+				out := c.layer.Forward(x)
+				g := tensor.Randn(r, 1, out.Shape...)
+
+				plainGin := c.layer.InputGrad(g).Clone()
+				zeroGrads(c.layer)
+				c.layer.WeightGrad(g)
+				want := cloneGrads(c.layer)
+
+				gotGin := wsl.InputGradWS(g, ws)
+				zeroGrads(c.layer)
+				wsl.WeightGradWS(g, ws)
+				got := cloneGrads(c.layer)
+
+				if len(plainGin.Shape) != len(gotGin.Shape) {
+					t.Fatalf("round %d: δO rank %v vs %v", round, plainGin.Shape, gotGin.Shape)
+				}
+				for i := range plainGin.Shape {
+					if plainGin.Shape[i] != gotGin.Shape[i] {
+						t.Fatalf("round %d: δO shape %v vs %v", round, plainGin.Shape, gotGin.Shape)
+					}
+				}
+				if !bitEq(plainGin, gotGin) {
+					t.Fatalf("round %d: pooled δO differs from plain δO", round)
+				}
+				for i := range want {
+					if !bitEq(want[i], got[i]) {
+						t.Fatalf("round %d: pooled grad for %s differs", round, c.layer.Params()[i].Name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWSBackwardAccumulatesLikePlain: starting from a nonzero Grad, one more
+// pooled δW lands exactly where one more plain δW would.
+func TestWSBackwardAccumulatesLikePlain(t *testing.T) {
+	r := tensor.NewRNG(555)
+	for _, c := range wsCases(r) {
+		if len(c.layer.Params()) == 0 {
+			continue
+		}
+		t.Run(c.name, func(t *testing.T) {
+			wsl := c.layer.(WorkspaceBackward)
+			ws := tensor.NewWorkspace()
+			x := c.input(r)
+			out := c.layer.Forward(x)
+			g := tensor.Randn(r, 1, out.Shape...)
+
+			zeroGrads(c.layer)
+			c.layer.WeightGrad(g) // seed a nonzero starting Grad
+			seed := cloneGrads(c.layer)
+
+			c.layer.WeightGrad(g)
+			want := cloneGrads(c.layer)
+
+			for i, p := range c.layer.Params() {
+				copy(p.Grad.Data, seed[i].Data)
+			}
+			wsl.WeightGradWS(g, ws)
+			got := cloneGrads(c.layer)
+			for i := range want {
+				if !bitEq(want[i], got[i]) {
+					t.Fatalf("accumulated grad for %s differs", c.layer.Params()[i].Name)
+				}
+			}
+		})
+	}
+}
+
+// TestWSBackwardWarmAllocs: after one warm-up round, a full pooled backward
+// (δO + δW) for every layer touches the allocator zero times.
+func TestWSBackwardWarmAllocs(t *testing.T) {
+	r := tensor.NewRNG(77)
+	for _, c := range wsCases(r) {
+		t.Run(c.name, func(t *testing.T) {
+			wsl := c.layer.(WorkspaceBackward)
+			ws := tensor.NewWorkspace()
+			x := c.input(r)
+			out := c.layer.Forward(x)
+			g := tensor.Randn(r, 1, out.Shape...)
+			cycle := func() {
+				wsl.InputGradWS(g, ws)
+				wsl.WeightGradWS(g, ws)
+			}
+			cycle() // warm retained buffers and the workspace pool
+			if n := testing.AllocsPerRun(20, cycle); n != 0 {
+				t.Fatalf("warm pooled backward allocates %v per run, want 0", n)
+			}
+		})
+	}
+}

@@ -2,11 +2,18 @@ package tensor
 
 import "fmt"
 
+// convParallelThreshold is the element-move count above which the im2col /
+// col2im / repack loops fan out across goroutines. The partitions below are
+// all over disjoint output regions with an unchanged per-element order, so
+// parallel runs are bitwise identical to serial ones.
+const convParallelThreshold = 1 << 16
+
 // Conv2D computes a same-stride-1 valid convolution of x [N,C,H,W] with
 // weights w [F,C,KH,KW], producing [N,F,H−KH+1,W−KW+1]. The implementation
-// is im2col + MatMul, mirroring how real frameworks lower convolutions (and
+// is im2col + GEMM, mirroring how real frameworks lower convolutions (and
 // why the paper's §4.1 notes the two gradient convolutions share little
-// cache state: each first builds its own large im2col matrix).
+// cache state: each first builds its own large im2col matrix). The GEMM is
+// the fused cols·wmᵀ (MatMulT), so no transposed weight copy is built.
 func Conv2D(x, w *Tensor) *Tensor {
 	n, c, h, wd := conv2dDims(x)
 	f, wc, kh, kw := conv2dDims(w)
@@ -19,7 +26,7 @@ func Conv2D(x, w *Tensor) *Tensor {
 	}
 	cols := im2col(x, kh, kw) // [N*oh*ow, C*kh*kw]
 	wm := w.Reshape(f, c*kh*kw)
-	out := MatMul(cols, Transpose(wm)) // [N*oh*ow, F]
+	out := MatMulT(cols, wm) // [N*oh*ow, F]
 	return nchwFromRows(out, n, f, oh, ow)
 }
 
@@ -38,13 +45,15 @@ func Conv2DInputGrad(gradOut, w *Tensor, h, wd int) *Tensor {
 }
 
 // Conv2DWeightGrad computes the gradient w.r.t. w given the stored input x
-// and gradOut — the δW computation of a conv layer.
+// and gradOut — the δW computation of a conv layer. The GEMM is the fused
+// rowsᵀ·cols (TMatMul); nn.Conv2D additionally reuses the forward pass's
+// im2col lowering instead of calling this recomputing form.
 func Conv2DWeightGrad(x, gradOut *Tensor, kh, kw int) *Tensor {
 	_, c, _, _ := conv2dDims(x)
 	_, f, _, _ := conv2dDims(gradOut)
 	cols := im2col(x, kh, kw)     // [N*oh*ow, C*kh*kw]
 	rows := rowsFromNCHW(gradOut) // [N*oh*ow, F]
-	g := MatMul(Transpose(rows), cols)
+	g := TMatMul(rows, cols)
 	return g.Reshape(f, c, kh, kw)
 }
 
@@ -55,46 +64,100 @@ func conv2dDims(t *Tensor) (n, c, h, w int) {
 	return t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
 }
 
-// im2col lowers x [N,C,H,W] into [N*OH*OW, C*KH*KW].
+// im2col lowers x [N,C,H,W] into a fresh [N*OH*OW, C*KH*KW] matrix.
 func im2col(x *Tensor, kh, kw int) *Tensor {
 	n, c, h, w := conv2dDims(x)
 	oh, ow := h-kh+1, w-kw+1
-	out := New(n*oh*ow, c*kh*kw)
-	row := 0
-	for b := 0; b < n; b++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				col := 0
-				base := out.Shape[1] * row
-				for ch := 0; ch < c; ch++ {
-					for ky := 0; ky < kh; ky++ {
-						src := ((b*c+ch)*h+(oy+ky))*w + ox
-						copy(out.Data[base+col:base+col+kw], x.Data[src:src+kw])
-						col += kw
-					}
-				}
-				row++
+	return Im2colInto(New(n*oh*ow, c*kh*kw), x, kh, kw)
+}
+
+// Im2colInto lowers x [N,C,H,W] into dst [N*OH*OW, C*KH*KW], fully
+// overwriting dst. Output rows are partitioned across goroutines on large
+// inputs (each row is written by exactly one worker, in the same element
+// order as the serial loop).
+func Im2colInto(dst, x *Tensor, kh, kw int) *Tensor {
+	n, c, h, w := conv2dDims(x)
+	oh, ow := h-kh+1, w-kw+1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: im2col kernel %dx%d too large for %dx%d", kh, kw, h, w))
+	}
+	rows, width := n*oh*ow, c*kh*kw
+	if dst.Dims() != 2 || dst.Shape[0] != rows || dst.Shape[1] != width {
+		panic(fmt.Sprintf("tensor: Im2colInto dst %v, want [%d %d]", dst.Shape, rows, width))
+	}
+	if serialRows(rows, rows*width, convParallelThreshold) {
+		im2colRange(dst.Data, x.Data, c, h, w, oh, ow, kh, kw, 0, rows)
+	} else {
+		parallelRows(rows, func(lo, hi int) {
+			im2colRange(dst.Data, x.Data, c, h, w, oh, ow, kh, kw, lo, hi)
+		})
+	}
+	return dst
+}
+
+// im2colRange lowers output rows [lo, hi) of the column matrix.
+func im2colRange(dst, x []float64, c, h, w, oh, ow, kh, kw, lo, hi int) {
+	width := c * kh * kw
+	for row := lo; row < hi; row++ {
+		b := row / (oh * ow)
+		oy := (row / ow) % oh
+		ox := row % ow
+		col := 0
+		base := width * row
+		for ch := 0; ch < c; ch++ {
+			for ky := 0; ky < kh; ky++ {
+				src := ((b*c+ch)*h+(oy+ky))*w + ox
+				copy(dst[base+col:base+col+kw], x[src:src+kw])
+				col += kw
 			}
 		}
 	}
-	return out
 }
 
-// col2im scatter-adds [N*OH*OW, C*KH*KW] back to [N,C,H,W].
+// col2im scatter-adds [N*OH*OW, C*KH*KW] back to a fresh [N,C,H,W] tensor.
 func col2im(cols *Tensor, n, c, h, w, kh, kw int) *Tensor {
+	return Col2imInto(New(n, c, h, w), cols, kh, kw)
+}
+
+// Col2imInto scatter-adds cols [N*OH*OW, C*KH*KW] into dst [N,C,H,W],
+// zeroing dst first. Work is partitioned across goroutines by batch image
+// (disjoint destination regions; per-element accumulation order unchanged,
+// so results are bitwise identical to the serial walk).
+func Col2imInto(dst, cols *Tensor, kh, kw int) *Tensor {
+	n, c, h, w := conv2dDims(dst)
 	oh, ow := h-kh+1, w-kw+1
-	out := New(n, c, h, w)
-	row := 0
-	for b := 0; b < n; b++ {
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: col2im kernel %dx%d too large for %dx%d", kh, kw, h, w))
+	}
+	width := c * kh * kw
+	if cols.Dims() != 2 || cols.Shape[0] != n*oh*ow || cols.Shape[1] != width {
+		panic(fmt.Sprintf("tensor: Col2imInto cols %v, want [%d %d]", cols.Shape, n*oh*ow, width))
+	}
+	dst.Zero()
+	if serialRows(n, n*oh*ow*width, convParallelThreshold) {
+		col2imRange(dst.Data, cols.Data, c, h, w, oh, ow, kh, kw, 0, n)
+	} else {
+		parallelRows(n, func(bLo, bHi int) {
+			col2imRange(dst.Data, cols.Data, c, h, w, oh, ow, kh, kw, bLo, bHi)
+		})
+	}
+	return dst
+}
+
+// col2imRange scatter-adds batch images [bLo, bHi) back into dst.
+func col2imRange(dst, cols []float64, c, h, w, oh, ow, kh, kw, bLo, bHi int) {
+	width := c * kh * kw
+	for b := bLo; b < bHi; b++ {
+		row := b * oh * ow
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
 				col := 0
-				base := cols.Shape[1] * row
+				base := width * row
 				for ch := 0; ch < c; ch++ {
 					for ky := 0; ky < kh; ky++ {
-						dst := ((b*c+ch)*h+(oy+ky))*w + ox
+						dsti := ((b*c+ch)*h+(oy+ky))*w + ox
 						for kx := 0; kx < kw; kx++ {
-							out.Data[dst+kx] += cols.Data[base+col+kx]
+							dst[dsti+kx] += cols[base+col+kx]
 						}
 						col += kw
 					}
@@ -103,40 +166,80 @@ func col2im(cols *Tensor, n, c, h, w, kh, kw int) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
-// rowsFromNCHW flattens [N,F,OH,OW] to [N*OH*OW, F] (pixel-major rows).
+// rowsFromNCHW flattens [N,F,OH,OW] to a fresh [N*OH*OW, F] matrix.
 func rowsFromNCHW(t *Tensor) *Tensor {
 	n, f, oh, ow := conv2dDims(t)
-	out := New(n*oh*ow, f)
-	for b := 0; b < n; b++ {
+	return RowsFromNCHWInto(New(n*oh*ow, f), t)
+}
+
+// RowsFromNCHWInto flattens t [N,F,OH,OW] to dst [N*OH*OW, F] (pixel-major
+// rows), fully overwriting dst. Partitioned by batch image on large inputs.
+func RowsFromNCHWInto(dst, t *Tensor) *Tensor {
+	n, f, oh, ow := conv2dDims(t)
+	if dst.Dims() != 2 || dst.Shape[0] != n*oh*ow || dst.Shape[1] != f {
+		panic(fmt.Sprintf("tensor: RowsFromNCHWInto dst %v, want [%d %d]", dst.Shape, n*oh*ow, f))
+	}
+	if serialRows(n, t.Len(), convParallelThreshold) {
+		rowsFromNCHWRange(dst.Data, t.Data, f, oh, ow, 0, n)
+	} else {
+		parallelRows(n, func(bLo, bHi int) {
+			rowsFromNCHWRange(dst.Data, t.Data, f, oh, ow, bLo, bHi)
+		})
+	}
+	return dst
+}
+
+// rowsFromNCHWRange repacks batch images [bLo, bHi) into pixel-major rows.
+func rowsFromNCHWRange(dst, src []float64, f, oh, ow, bLo, bHi int) {
+	for b := bLo; b < bHi; b++ {
 		for ch := 0; ch < f; ch++ {
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
 					row := (b*oh+oy)*ow + ox
-					out.Data[row*f+ch] = t.Data[((b*f+ch)*oh+oy)*ow+ox]
+					dst[row*f+ch] = src[((b*f+ch)*oh+oy)*ow+ox]
 				}
 			}
 		}
 	}
-	return out
 }
 
 // nchwFromRows is the inverse of rowsFromNCHW.
 func nchwFromRows(rows *Tensor, n, f, oh, ow int) *Tensor {
-	out := New(n, f, oh, ow)
-	for b := 0; b < n; b++ {
+	return NCHWFromRowsInto(New(n, f, oh, ow), rows)
+}
+
+// NCHWFromRowsInto unflattens rows [N*OH*OW, F] into dst [N,F,OH,OW], fully
+// overwriting dst. Partitioned by batch image on large inputs.
+func NCHWFromRowsInto(dst, rows *Tensor) *Tensor {
+	n, f, oh, ow := conv2dDims(dst)
+	if rows.Dims() != 2 || rows.Shape[0] != n*oh*ow || rows.Shape[1] != f {
+		panic(fmt.Sprintf("tensor: NCHWFromRowsInto rows %v, want [%d %d]", rows.Shape, n*oh*ow, f))
+	}
+	if serialRows(n, dst.Len(), convParallelThreshold) {
+		nchwFromRowsRange(dst.Data, rows.Data, f, oh, ow, 0, n)
+	} else {
+		parallelRows(n, func(bLo, bHi int) {
+			nchwFromRowsRange(dst.Data, rows.Data, f, oh, ow, bLo, bHi)
+		})
+	}
+	return dst
+}
+
+// nchwFromRowsRange repacks pixel-major rows back into batch images
+// [bLo, bHi).
+func nchwFromRowsRange(dst, src []float64, f, oh, ow, bLo, bHi int) {
+	for b := bLo; b < bHi; b++ {
 		for ch := 0; ch < f; ch++ {
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
 					row := (b*oh+oy)*ow + ox
-					out.Data[((b*f+ch)*oh+oy)*ow+ox] = rows.Data[row*f+ch]
+					dst[((b*f+ch)*oh+oy)*ow+ox] = src[row*f+ch]
 				}
 			}
 		}
 	}
-	return out
 }
 
 // MaxPool2 performs 2×2 max pooling with stride 2 on x [N,C,H,W] (H, W even)
@@ -175,11 +278,30 @@ func MaxPool2(x *Tensor) (*Tensor, []int) {
 }
 
 // MaxPool2Grad routes gradOut back through the argmax map onto a tensor with
-// the original input shape.
+// the original input shape. The argmax map is validated against both shapes:
+// a stale or mismatched map panics with a diagnostic instead of silently
+// producing a wrong gradient.
 func MaxPool2Grad(gradOut *Tensor, arg []int, inShape []int) *Tensor {
-	out := New(inShape...)
-	for i, g := range gradOut.Data {
-		out.Data[arg[i]] += g
+	return MaxPool2GradInto(New(inShape...), gradOut, arg)
+}
+
+// MaxPool2GradInto is MaxPool2Grad into a caller-owned dst with the original
+// input shape (zeroed first). len(arg) must equal gradOut.Len() and every
+// index must lie inside dst.
+func MaxPool2GradInto(dst, gradOut *Tensor, arg []int) *Tensor {
+	if len(arg) != gradOut.Len() {
+		panic(fmt.Sprintf("tensor: MaxPool2Grad argmax map has %d entries for %d gradient elements (mismatched shapes?)",
+			len(arg), gradOut.Len()))
 	}
-	return out
+	dst.Zero()
+	limit := dst.Len()
+	for i, g := range gradOut.Data {
+		idx := arg[i]
+		if idx < 0 || idx >= limit {
+			panic(fmt.Sprintf("tensor: MaxPool2Grad argmax[%d] = %d outside input of %d elements (stale map?)",
+				i, idx, limit))
+		}
+		dst.Data[idx] += g
+	}
+	return dst
 }

@@ -1,0 +1,344 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Fused-transpose GEMM kernels. The backward pass of every GEMM-shaped layer
+// needs products against a transposed operand (δO_i = g·Wᵀ, δW_i = xᵀ·g,
+// attention scores = Q·Kᵀ, ...). The naive lowering materializes an explicit
+// Transpose copy before calling MatMul — pure data movement the paper's §4.1
+// identifies as the redundant cost of the gradient kernels. MatMulT and
+// TMatMul read the untransposed operand in its original row-major layout
+// instead, so no transposed copy ever exists.
+//
+// Determinism contract: every kernel in this file accumulates each output
+// element in exactly the same order as the reference ikj MatMul — for
+// out[i][j], terms are added in ascending inner-dimension order starting from
+// +0. Cache blocking only reorders work *across* independent output elements,
+// never within one element's accumulation chain, so all variants (serial,
+// parallel, blocked, fused) are bitwise identical to the naive kernels. This
+// is what keeps the executor's bit-identical-gradients differential suite
+// meaningful: reordered schedules, pooled buffers and fused kernels must all
+// produce the same bits as the plain serial walk.
+const (
+	// gemmRowBlock tiles rows of the output (and of A) so an output tile and
+	// the B panel it consumes stay cache-resident.
+	gemmRowBlock = 64
+	// gemmKBlock tiles the shared inner dimension: a panel of gemmKBlock B
+	// rows is reused by every row of the current A tile before moving on.
+	gemmKBlock = 240
+	// gemmJBlock tiles B rows in MatMulT so a block of them is reused across
+	// many A rows (each B row is a whole dot-product operand there).
+	gemmJBlock = 120
+)
+
+// serialRows reports whether a row-partitioned kernel should run on the
+// calling goroutine: a single processor, a degenerate row count, or too
+// little work to amortize goroutine spawning. Callers must branch on it
+// BEFORE constructing the closure they pass to parallelRows — the closure
+// leaks into the spawned goroutines, so building it unconditionally would
+// heap-allocate even on the serial path and break the zero-alloc warm step.
+func serialRows(m, work, threshold int) bool {
+	return runtime.GOMAXPROCS(0) <= 1 || m < 2 || work < threshold
+}
+
+// parallelRows splits the row range [0, m) into one contiguous chunk per
+// worker with the same deterministic w·m/workers partition MatMul has always
+// used, and runs f on each chunk. Chunks are disjoint and each output row is
+// produced by exactly one worker in the serial element order, so results are
+// bitwise identical at any GOMAXPROCS.
+func parallelRows(m int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * m / workers
+		hi := (w + 1) * m / workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+func checkGEMM(op string, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: %s needs 2D operands, got %v · %v", op, a.Shape, b.Shape))
+	}
+}
+
+func checkInto(op string, dst *Tensor, m, n int) {
+	if dst.Dims() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s dst %v, want [%d %d]", op, dst.Shape, m, n))
+	}
+}
+
+// MatMulInto computes dst = a[m×k] · b[k×n], overwriting dst (which must be
+// shaped [m×n]; prior contents are ignored). Bitwise identical to MatMul.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	checkGEMM("MatMulInto", a, b)
+	if a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulInto %v · %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	checkInto("MatMulInto", dst, m, n)
+	dst.Zero()
+	if serialRows(m, 2*m*k*n, matmulParallelThreshold) {
+		matMulRange(dst.Data, a.Data, b.Data, k, n, 0, m)
+	} else {
+		parallelRows(m, func(lo, hi int) {
+			matMulRange(dst.Data, a.Data, b.Data, k, n, lo, hi)
+		})
+	}
+	return dst
+}
+
+// matMulRange computes output rows [lo, hi) of a·b with cache-blocked ikj
+// loops: row tiles of A against k-panels of B, so a panel of B rows is reused
+// by the whole A tile while it is cache-hot. Within one (i, j) the p order is
+// ascending — the blocked walk is bitwise identical to the flat ikj loop.
+func matMulRange(out, a, b []float64, k, n, lo, hi int) {
+	for it := lo; it < hi; it += gemmRowBlock {
+		ihi := min(it+gemmRowBlock, hi)
+		for pt := 0; pt < k; pt += gemmKBlock {
+			phi := min(pt+gemmKBlock, k)
+			for i := it; i < ihi; i++ {
+				arow := a[i*k : (i+1)*k]
+				orow := out[i*n : (i+1)*n]
+				// Four p terms per pass over the output row: one
+				// load/store of orow[j] carries four multiply-adds,
+				// applied left to right in ascending p order — the exact
+				// chain the one-term-at-a-time loop produces.
+				p := pt
+				for ; p+4 <= phi; p += 4 {
+					a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+					b0 := b[p*n : (p+1)*n]
+					// Reslice the other operands to len(b0) so the range
+					// over b0 proves every index in bounds (no per-element
+					// bounds checks in the hot loop).
+					b1 := b[(p+1)*n : (p+2)*n][:len(b0)]
+					b2 := b[(p+2)*n : (p+3)*n][:len(b0)]
+					b3 := b[(p+3)*n : (p+4)*n][:len(b0)]
+					o := orow[:len(b0)]
+					for j, bv := range b0 {
+						o[j] = o[j] + a0*bv + a1*b1[j] + a2*b2[j] + a3*b3[j]
+					}
+				}
+				for ; p < phi; p++ {
+					av := arow[p]
+					brow := b[p*n : (p+1)*n]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulT computes a[m×k] · bᵀ for b[n×k] without materializing the
+// transpose: row i of a against row j of b is a contiguous-contiguous dot
+// product. Bitwise identical to MatMul(a, Transpose(b)).
+func MatMulT(a, b *Tensor) *Tensor {
+	checkGEMM("MatMulT", a, b)
+	return MatMulTInto(New(a.Shape[0], b.Shape[0]), a, b)
+}
+
+// MatMulTInto is MatMulT into a caller-owned dst [m×n] (n = rows of b).
+// Every element is assigned, so dst's prior contents are ignored.
+func MatMulTInto(dst, a, b *Tensor) *Tensor {
+	checkGEMM("MatMulTInto", a, b)
+	if a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTInto %v · %vᵀ", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	checkInto("MatMulTInto", dst, m, n)
+	if serialRows(m, 2*m*k*n, matmulParallelThreshold) {
+		matMulTRange(dst.Data, a.Data, b.Data, k, n, 0, m)
+	} else {
+		parallelRows(m, func(lo, hi int) {
+			matMulTRange(dst.Data, a.Data, b.Data, k, n, lo, hi)
+		})
+	}
+	return dst
+}
+
+// matMulTRange computes output rows [lo, hi) of a·bᵀ. B rows are consumed in
+// tiles of gemmJBlock so a tile stays cache-resident across the whole row
+// range, and four output elements are produced per inner loop — four
+// independent accumulation chains for instruction-level parallelism (a single
+// dot product is latency-bound on its loop-carried add). Each chain sums in
+// ascending p order, so every element matches the ikj reference bitwise.
+func matMulTRange(out, a, b []float64, k, n, lo, hi int) {
+	for jt := 0; jt < n; jt += gemmJBlock {
+		jhi := min(jt+gemmJBlock, n)
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : (i+1)*k]
+			orow := out[i*n : (i+1)*n]
+			j := jt
+			for ; j+4 <= jhi; j += 4 {
+				// Resliced to len(arow) so the range over arow proves
+				// every b index in bounds.
+				b0 := b[j*k : (j+1)*k][:len(arow)]
+				b1 := b[(j+1)*k : (j+2)*k][:len(arow)]
+				b2 := b[(j+2)*k : (j+3)*k][:len(arow)]
+				b3 := b[(j+3)*k : (j+4)*k][:len(arow)]
+				var s0, s1, s2, s3 float64
+				for p, av := range arow {
+					s0 += av * b0[p]
+					s1 += av * b1[p]
+					s2 += av * b2[p]
+					s3 += av * b3[p]
+				}
+				orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+			}
+			for ; j < jhi; j++ {
+				brow := b[j*k : (j+1)*k]
+				var s float64
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	}
+}
+
+// TMatMul computes aᵀ · b for a[m×k], b[m×n] without materializing the
+// transpose: the product is accumulated as a sum of outer products of
+// corresponding (contiguous) rows of a and b. Bitwise identical to
+// MatMul(Transpose(a), b).
+func TMatMul(a, b *Tensor) *Tensor {
+	checkGEMM("TMatMul", a, b)
+	return TMatMulInto(New(a.Shape[1], b.Shape[1]), a, b)
+}
+
+// TMatMulInto is TMatMul into a caller-owned dst [k×n], overwriting it
+// (prior contents are ignored).
+func TMatMulInto(dst, a, b *Tensor) *Tensor {
+	checkGEMM("TMatMulInto", a, b)
+	if a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: TMatMulInto %vᵀ · %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	checkInto("TMatMulInto", dst, k, n)
+	dst.Zero()
+	if serialRows(k, 2*m*k*n, matmulParallelThreshold) {
+		tMatMulRange(dst.Data, a.Data, b.Data, m, k, n, 0, k)
+	} else {
+		parallelRows(k, func(lo, hi int) {
+			tMatMulRange(dst.Data, a.Data, b.Data, m, k, n, lo, hi)
+		})
+	}
+	return dst
+}
+
+// tMatMulRange computes output rows [lo, hi) (columns of a) of aᵀ·b. The
+// output row range is tiled so the tile stays cache-hot across the full sweep
+// of input rows; for a fixed output element, input rows are consumed in
+// ascending order — the same chain the ikj reference on the materialized
+// transpose would produce.
+func tMatMulRange(out, a, b []float64, m, k, n, lo, hi int) {
+	for pt := lo; pt < hi; pt += gemmRowBlock {
+		phi := min(pt+gemmRowBlock, hi)
+		// Four input rows per sweep: each output element receives its four
+		// rank-1 terms in one load/store, added left to right in ascending
+		// i order — the same chain as four one-row sweeps.
+		i := 0
+		for ; i+4 <= m; i += 4 {
+			a0 := a[i*k : (i+1)*k]
+			a1 := a[(i+1)*k : (i+2)*k]
+			a2 := a[(i+2)*k : (i+3)*k]
+			a3 := a[(i+3)*k : (i+4)*k]
+			b0 := b[i*n : (i+1)*n]
+			b1 := b[(i+1)*n : (i+2)*n]
+			b2 := b[(i+2)*n : (i+3)*n]
+			b3 := b[(i+3)*n : (i+4)*n]
+			// Reslice to len(b0) once so the per-p inner loops carry no
+			// bounds checks (range over b0 proves every index in bounds).
+			b1, b2, b3 = b1[:len(b0)], b2[:len(b0)], b3[:len(b0)]
+			for p := pt; p < phi; p++ {
+				av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
+				orow := out[p*n : (p+1)*n][:len(b0)]
+				for j, bv := range b0 {
+					orow[j] = orow[j] + av0*bv + av1*b1[j] + av2*b2[j] + av3*b3[j]
+				}
+			}
+		}
+		for ; i < m; i++ {
+			arow := a[i*k : (i+1)*k]
+			brow := b[i*n : (i+1)*n]
+			for p := pt; p < phi; p++ {
+				av := arow[p]
+				orow := out[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// SumRowsInto reduces a [m×n] matrix to its column sums, written into dst
+// (any shape with exactly n elements; prior contents are ignored). Rows are
+// accumulated in ascending order, matching SumRows bitwise.
+func SumRowsInto(dst, a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic("tensor: SumRowsInto needs 2D")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	if dst.Len() != n {
+		panic(fmt.Sprintf("tensor: SumRowsInto dst %v, want %d elements", dst.Shape, n))
+	}
+	dst.Zero()
+	out := dst.Data
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return dst
+}
+
+// AddFlatTo accumulates src into dst elementwise by flat index, for
+// same-sized tensors whose shapes differ only by reshaping (e.g. a [F,C·KH·KW]
+// GEMM result into a [F,C,KH,KW] parameter gradient). Same accumulation as
+// AddTo on the reshaped view, without allocating the view.
+func AddFlatTo(dst, src *Tensor) {
+	if dst.Len() != len(src.Data) || len(dst.Data) != len(src.Data) {
+		panic(fmt.Sprintf("tensor: AddFlatTo size mismatch %v vs %v", dst.Shape, src.Shape))
+	}
+	for i, v := range src.Data {
+		dst.Data[i] += v
+	}
+}
+
+// Ensure returns t if its backing array can hold shape (reslicing the header
+// in place, contents unspecified), or a freshly allocated tensor otherwise.
+// Layers use it for retained output buffers: after the first pass at a given
+// shape, Ensure never allocates.
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			// Panic with the scalar only: formatting the shape slice would
+			// make it escape and heap-allocate the variadic on every call.
+			panic(fmt.Sprintf("tensor: Ensure non-positive dim %d", d))
+		}
+		n *= d
+	}
+	if t == nil || cap(t.Data) < n {
+		return &Tensor{Shape: append(make([]int, 0, 4), shape...), Data: make([]float64, n)}
+	}
+	t.Data = t.Data[:n]
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}

@@ -13,8 +13,6 @@ package tensor
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
 
 // Tensor is a dense row-major array.
@@ -204,55 +202,33 @@ func MaxAbsDiff(a, b *Tensor) float64 {
 	return m
 }
 
-// matmulParallelThreshold is the FLOP count above which MatMul fans rows out
-// across goroutines. Each output row is computed entirely by one worker in
-// the same ikj order as the serial path, so the result is bitwise identical
-// and deterministic regardless of scheduling.
+// matmulParallelThreshold is the FLOP count above which the GEMM kernels fan
+// rows out across goroutines. Each output row is computed entirely by one
+// worker in the same accumulation order as the serial path, so the result is
+// bitwise identical and deterministic regardless of scheduling.
 const matmulParallelThreshold = 1 << 22
 
-// MatMul computes a[m×k] · b[k×n] with a fixed ikj loop order so results are
-// reproducible across schedules (and across the serial/parallel paths).
+// MatMul computes a[m×k] · b[k×n] with a fixed ikj accumulation order so
+// results are reproducible across schedules (and across the serial, parallel
+// and cache-blocked paths — see gemm.go).
+//
+// The historic `av == 0` skip branch is gone: on dense training data it was a
+// mispredicted branch per element, and for finite operands skipping a
+// zero-valued term is bitwise indistinguishable from adding it (a running sum
+// that starts at +0 can never become −0, so x + ±0 == x exactly).
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatMul %v · %v", a.Shape, b.Shape))
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	out := New(m, n)
-	rowRange := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
-				for j := 0; j < n; j++ {
-					orow[j] += av * brow[j]
-				}
-			}
-		}
+	if serialRows(m, 2*m*k*n, matmulParallelThreshold) {
+		matMulRange(out.Data, a.Data, b.Data, k, n, 0, m)
+	} else {
+		parallelRows(m, func(lo, hi int) {
+			matMulRange(out.Data, a.Data, b.Data, k, n, lo, hi)
+		})
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers <= 1 || m < 2 || 2*m*k*n < matmulParallelThreshold {
-		rowRange(0, m)
-		return out
-	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * m / workers
-		hi := (w + 1) * m / workers
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rowRange(lo, hi)
-		}()
-	}
-	wg.Wait()
 	return out
 }
 

@@ -292,9 +292,6 @@ func TestMatMulParallelMatchesSerialBitwise(t *testing.T) {
 	for i := 0; i < 128; i++ {
 		for p := 0; p < 96; p++ {
 			av := a.Data[i*96+p]
-			if av == 0 {
-				continue
-			}
 			for j := 0; j < 200; j++ {
 				want.Data[i*200+j] += av * b.Data[p*200+j]
 			}

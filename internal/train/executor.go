@@ -89,6 +89,13 @@ type Executor struct {
 	grads  []*tensor.Tensor
 	refcnt []int32
 
+	// Workspaces for the pooled backward paths (nn.WorkspaceBackward). Each
+	// is owned by exactly one goroutine: chainWS by the goroutine running
+	// Backward (the δO chain, and every op in serial mode), laneWS[i] by pool
+	// worker i — so the concurrent δW ops share no buffers and never contend.
+	chainWS *tensor.Workspace
+	laneWS  []*tensor.Workspace
+
 	// Cached analysis of the most recent schedule (steady-state Fit loops use
 	// one schedule for thousands of steps; re-validating would allocate).
 	cachedSched graph.BackwardSchedule
@@ -112,13 +119,15 @@ func NewExecutor(mode ExecMode, workers int) *Executor {
 			workers = 1
 		}
 	}
-	e := &Executor{mode: mode, workers: workers, t0: time.Now()}
+	e := &Executor{mode: mode, workers: workers, t0: time.Now(), chainWS: tensor.NewWorkspace()}
 	if mode == ExecConcurrent {
 		e.tasks = make(chan dwTask, taskQueueCap)
 		e.quit = make(chan struct{})
 		e.laneNames = make([]string, workers)
+		e.laneWS = make([]*tensor.Workspace, workers)
 		for i := range e.laneNames {
 			e.laneNames[i] = fmt.Sprintf("dW-worker%d", i)
+			e.laneWS[i] = tensor.NewWorkspace()
 		}
 		e.poolWG.Add(workers)
 		for i := 0; i < workers; i++ {
@@ -126,6 +135,23 @@ func NewExecutor(mode ExecMode, workers int) *Executor {
 		}
 	}
 	return e
+}
+
+// wsInputGrad runs δO through the pooled path when the layer supports it.
+func wsInputGrad(l nn.Layer, g *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+	if wb, ok := l.(nn.WorkspaceBackward); ok {
+		return wb.InputGradWS(g, ws)
+	}
+	return l.InputGrad(g)
+}
+
+// wsWeightGrad runs δW through the pooled path when the layer supports it.
+func wsWeightGrad(l nn.Layer, g *tensor.Tensor, ws *tensor.Workspace) {
+	if wb, ok := l.(nn.WorkspaceBackward); ok {
+		wb.WeightGradWS(g, ws)
+		return
+	}
+	l.WeightGrad(g)
 }
 
 // Mode returns the executor's execution mode (serial for a nil receiver).
@@ -207,10 +233,10 @@ func (e *Executor) worker(id int) {
 func (e *Executor) runDW(worker int, t dwTask) {
 	if tr := e.tr; tr != nil {
 		start := e.now()
-		t.layer.WeightGrad(t.grad)
+		wsWeightGrad(t.layer, t.grad, e.laneWS[worker])
 		e.span(e.laneNames[worker], graph.Op{Kind: graph.WeightGrad, Layer: t.idx}, start, e.now())
 	} else {
-		t.layer.WeightGrad(t.grad)
+		wsWeightGrad(t.layer, t.grad, e.laneWS[worker])
 	}
 	e.release(t.idx)
 	e.dwWG.Done()
@@ -256,15 +282,18 @@ func schedulesEqual(a, b graph.BackwardSchedule) bool {
 	return true
 }
 
-// Backward executes the backward pass under the executor's mode. Serial mode
-// (and a nil receiver) matches Network.Backward exactly; concurrent mode
-// produces bit-identical parameter gradients and the same PeakLiveGrads.
+// Backward executes the backward pass under the executor's mode. A nil
+// receiver delegates to Network.Backward — the naive allocating walk kept as
+// the differential reference. A serial executor runs the same op order
+// through the pooled engine (workspace scratch, retained layer buffers);
+// concurrent mode additionally overlaps δW ops. Both produce bit-identical
+// parameter gradients and the same PeakLiveGrads as Network.Backward.
 func (e *Executor) Backward(n *Network, lossGrad *tensor.Tensor, sched graph.BackwardSchedule) (BackwardStats, error) {
-	if e == nil || e.mode != ExecConcurrent {
-		if e != nil && e.tr != nil {
-			return e.backwardSerialTraced(n, lossGrad, sched)
-		}
+	if e == nil {
 		return n.Backward(lossGrad, sched)
+	}
+	if e.mode != ExecConcurrent {
+		return e.backwardSerial(n, lossGrad, sched)
 	}
 	L := len(n.Layers)
 	peak, err := e.analyze(L, sched)
@@ -295,7 +324,7 @@ func (e *Executor) Backward(n *Network, lossGrad *tensor.Tensor, sched graph.Bac
 			if tracing {
 				start = e.now()
 			}
-			gin := n.Layers[i-1].InputGrad(g)
+			gin := wsInputGrad(n.Layers[i-1], g, e.chainWS)
 			if tracing {
 				e.span(laneCritical, op, start, e.now())
 			}
@@ -312,42 +341,45 @@ func (e *Executor) Backward(n *Network, lossGrad *tensor.Tensor, sched graph.Bac
 	return BackwardStats{PeakLiveGrads: peak}, nil
 }
 
-// backwardSerialTraced is the serial walk with span recording — the baseline
-// lane set of a serial-vs-concurrent trace comparison. Identical op order and
-// stats to Network.Backward; every op lands on the single critical lane.
-func (e *Executor) backwardSerialTraced(n *Network, lossGrad *tensor.Tensor, sched graph.BackwardSchedule) (BackwardStats, error) {
+// backwardSerial is the pooled serial engine: the exact op order of
+// Network.Backward, with every op on the calling goroutine using the chain
+// workspace — so a warm pass performs zero allocations. When tracing, every
+// op lands on the single critical lane (the baseline lane set of a
+// serial-vs-concurrent trace comparison).
+func (e *Executor) backwardSerial(n *Network, lossGrad *tensor.Tensor, sched graph.BackwardSchedule) (BackwardStats, error) {
 	L := len(n.Layers)
-	if err := sched.Validate(L); err != nil {
-		return BackwardStats{}, fmt.Errorf("train: %w", err)
+	peak, err := e.analyze(L, sched)
+	if err != nil {
+		return BackwardStats{}, err
 	}
-	grads := make([]*tensor.Tensor, L+1)
-	grads[L] = lossGrad
-	doneDO := make([]bool, L+1)
-	doneDW := make([]bool, L+1)
-	live, peak := 1, 1
+	if cap(e.grads) < L+1 {
+		e.grads = make([]*tensor.Tensor, L+1)
+		e.refcnt = make([]int32, L+1)
+	}
+	e.grads = e.grads[:L+1]
+	for i := range e.grads {
+		e.grads[i] = nil
+	}
+	e.grads[L] = lossGrad
+	tracing := e.tr != nil
 	for _, op := range sched {
 		i := op.Layer
-		g := grads[i]
-		start := e.now()
+		g := e.grads[i]
+		var start time.Duration
+		if tracing {
+			start = e.now()
+		}
 		switch op.Kind {
 		case graph.OutGrad:
-			gin := n.Layers[i-1].InputGrad(g)
-			doneDO[i] = true
+			gin := wsInputGrad(n.Layers[i-1], g, e.chainWS)
 			if i > 1 {
-				grads[i-1] = gin
-				live++
-				if live > peak {
-					peak = live
-				}
+				e.grads[i-1] = gin
 			}
 		case graph.WeightGrad:
-			n.Layers[i-1].WeightGrad(g)
-			doneDW[i] = true
+			wsWeightGrad(n.Layers[i-1], g, e.chainWS)
 		}
-		e.span(laneCritical, op, start, e.now())
-		if doneDO[i] && doneDW[i] && grads[i] != nil {
-			grads[i] = nil
-			live--
+		if tracing {
+			e.span(laneCritical, op, start, e.now())
 		}
 	}
 	return BackwardStats{PeakLiveGrads: peak}, nil

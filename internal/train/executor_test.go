@@ -274,3 +274,113 @@ func TestConcurrentExecutorWarmPathAllocs(t *testing.T) {
 		t.Fatalf("concurrent warm path allocates %v per pass, serial %v — dispatch machinery must add nothing", conc, serial)
 	}
 }
+
+// TestExecutorWarmPathZeroAllocs: the pooled engines (serial executor and
+// concurrent executor) run a warm backward pass with ZERO allocations on
+// every net kind — the tensor workspace arena and the layers' retained
+// buffers absorb all transients. The nil-executor path (Network.Backward)
+// stays allocating by design; it is the differential reference.
+func TestExecutorWarmPathZeroAllocs(t *testing.T) {
+	cases := []struct {
+		name  string
+		net   *Network
+		x     *tensor.Tensor
+		lbl   []int
+		sched graph.BackwardSchedule
+	}{}
+	{
+		net := MLPNet(71, 16, 24, 3, 3)
+		x, lbl := data.Vectors(73, 8, 16, 3)
+		cases = append(cases, struct {
+			name  string
+			net   *Network
+			x     *tensor.Tensor
+			lbl   []int
+			sched graph.BackwardSchedule
+		}{"mlp", net, x, lbl, graph.ReverseFirstK(len(net.Layers), len(net.Layers)/2)})
+	}
+	{
+		net := ConvNet(13, 14, 6, 4)
+		x, lbl := data.Images(5, 8, 1, 14, 14, 4)
+		cases = append(cases, struct {
+			name  string
+			net   *Network
+			x     *tensor.Tensor
+			lbl   []int
+			sched graph.BackwardSchedule
+		}{"conv", net, x, lbl, graph.Conventional(len(net.Layers))})
+	}
+	{
+		net := TokenNet(17, 80, 24, 12, 48, 4)
+		x, lbl := TokenBatch(7, 16, 12, 80, 4)
+		cases = append(cases, struct {
+			name  string
+			net   *Network
+			x     *tensor.Tensor
+			lbl   []int
+			sched graph.BackwardSchedule
+		}{"nlp", net, x, lbl, graph.ReverseFirstK(len(net.Layers), 2)})
+	}
+
+	for _, c := range cases {
+		for _, mode := range []ExecMode{ExecSerial, ExecConcurrent} {
+			t.Run(fmt.Sprintf("%s/%s", c.name, mode), func(t *testing.T) {
+				e := NewExecutor(mode, 2)
+				defer e.Close()
+				logits := c.net.Forward(c.x)
+				_, lossGrad := nn.SoftmaxCrossEntropy(logits, c.lbl)
+				// Two warm-up passes: the first sizes the retained layer
+				// buffers and workspace bins, the second settles pool growth.
+				for i := 0; i < 2; i++ {
+					if _, err := e.Backward(c.net, lossGrad, c.sched); err != nil {
+						t.Fatal(err)
+					}
+				}
+				allocs := testing.AllocsPerRun(10, func() {
+					if _, err := e.Backward(c.net, lossGrad, c.sched); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if allocs != 0 {
+					t.Fatalf("warm %s backward allocates %v per pass, want 0", mode, allocs)
+				}
+			})
+		}
+	}
+}
+
+// TestPooledExecutorBitIdenticalToReference: the pooled serial engine and the
+// naive Network.Backward walk produce bit-identical parameter gradients on
+// the same pass — the end-to-end statement of the kernel determinism
+// contract (fused GEMMs, workspace reuse and retained buffers change no
+// bits).
+func TestPooledExecutorBitIdenticalToReference(t *testing.T) {
+	build := func() (*Network, *tensor.Tensor, []int) {
+		net := ConvNet(13, 14, 6, 4)
+		x, lbl := data.Images(5, 8, 1, 14, 14, 4)
+		return net, x, lbl
+	}
+
+	ref, xr, lr := build()
+	logits := ref.Forward(xr)
+	_, g := nn.SoftmaxCrossEntropy(logits, lr)
+	sched := graph.ReverseFirstK(len(ref.Layers), 3)
+	ref.ZeroGrads()
+	if _, err := ref.Backward(g, sched); err != nil {
+		t.Fatal(err)
+	}
+	want := GradSnapshot(ref)
+
+	pooled, xp, lp := build()
+	e := NewExecutor(ExecSerial, 0)
+	logits = pooled.Forward(xp)
+	_, g = nn.SoftmaxCrossEntropy(logits, lp)
+	pooled.ZeroGrads()
+	if _, err := e.Backward(pooled, g, sched); err != nil {
+		t.Fatal(err)
+	}
+	got := GradSnapshot(pooled)
+	if !SnapshotsEqual(want, got) {
+		t.Fatal("pooled serial engine diverged bitwise from Network.Backward")
+	}
+}
