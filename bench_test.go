@@ -6,6 +6,7 @@
 package oooback
 
 import (
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http/httptest"
@@ -378,6 +379,48 @@ func BenchmarkTrainBackward(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkTrainDataParallel measures full data-parallel training steps —
+// sharded forward, concurrent out-of-order backward, overlapped bucket
+// reduction, optimizer update — at 1/2/4 replicas. Custom metrics decompose
+// the reduction cost: reduce-busy-ns is total time inside bucket reductions,
+// reduce-exposed-ns the part that ran after the last replica's backward
+// finished. Overlap shows as exposed < busy; on a single-core host the
+// phases serialize and parity is expected.
+func BenchmarkTrainDataParallel(b *testing.B) {
+	x, labels := data.Vectors(3, 32, 64, 4)
+	build := func() *train.Network { return train.MLPNet(11, 64, 96, 4, 4) }
+	L := len(build().Layers)
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			dp, err := train.NewDataParallel(build(), &nn.SGD{LR: 0.01}, train.DataParallelConfig{
+				Replicas: n, Build: build,
+				Schedule: graph.ReverseFirstK(L, L/2), Sync: train.SyncLayerPriority,
+				BucketBytes: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(dp.Close)
+			if _, _, err := dp.Step(x, labels); err != nil { // warm buffers and caches
+				b.Fatal(err)
+			}
+			var busy, exposed time.Duration
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := dp.Step(x, labels)
+				if err != nil {
+					b.Fatal(err)
+				}
+				busy += st.ReduceBusy
+				exposed += st.ReduceExposed
+			}
+			b.ReportMetric(float64(busy.Nanoseconds())/float64(b.N), "reduce-busy-ns/op")
+			b.ReportMetric(float64(exposed.Nanoseconds())/float64(b.N), "reduce-exposed-ns/op")
+		})
 	}
 }
 

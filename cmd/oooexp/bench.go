@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"oooback/internal/core"
+	"oooback/internal/data"
 	"oooback/internal/datapar"
 	"oooback/internal/graph"
 	"oooback/internal/models"
@@ -121,6 +122,49 @@ func trainBackwardBench(kind string, concurrent bool) func(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := exec.Backward(en.net, lossGrad, sched); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// trainDataParallelBench measures one full data-parallel training step (the
+// BenchmarkTrainDataParallel hot loop): sharded forward, concurrent backward
+// with overlapped bucket reduction, optimizer update and weight broadcast.
+// Same networks and data seeds as `oooexp exec`.
+func trainDataParallelBench(kind string, replicas int) func(b *testing.B) {
+	return func(b *testing.B) {
+		var build func() *train.Network
+		var x *tensor.Tensor
+		var labels []int
+		switch kind {
+		case "mlp":
+			build = func() *train.Network { return train.MLPNet(11, 64, 96, 4, 4) }
+			x, labels = data.Vectors(3, 32, 64, 4)
+		case "conv":
+			build = func() *train.Network { return train.ConvNet(13, 14, 6, 4) }
+			x, labels = data.Images(5, 8, 1, 14, 14, 4)
+		default:
+			build = func() *train.Network { return train.TokenNet(17, 80, 24, 12, 48, 4) }
+			x, labels = train.TokenBatch(7, 16, 12, 80, 4)
+		}
+		L := len(build().Layers)
+		dp, err := train.NewDataParallel(build(), &nn.SGD{LR: 0.01}, train.DataParallelConfig{
+			Replicas: replicas, Build: build,
+			Schedule: graph.ReverseFirstK(L, L/2), Sync: train.SyncLayerPriority,
+			BucketBytes: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(dp.Close)
+		if _, _, err := dp.Step(x, labels); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dp.Step(x, labels); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -260,6 +304,10 @@ func benchList() []namedBench {
 		{"TrainBackwardConvConcurrent", trainBackwardBench("conv", true)},
 		{"TrainBackwardNLPSerial", trainBackwardBench("nlp", false)},
 		{"TrainBackwardNLPConcurrent", trainBackwardBench("nlp", true)},
+		{"TrainDataParallelMLP2", trainDataParallelBench("mlp", 2)},
+		{"TrainDataParallelMLP4", trainDataParallelBench("mlp", 4)},
+		{"TrainDataParallelConv2", trainDataParallelBench("conv", 2)},
+		{"TrainDataParallelNLP2", trainDataParallelBench("nlp", 2)},
 		{"PlanServiceWarmHit", func(b *testing.B) {
 			svc := plansvc.New(plansvc.Options{
 				Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),

@@ -31,15 +31,17 @@ func BucketedCosts(m *models.Model, cl Cluster, workers int, bucketBytes int64) 
 	lag := make([]time.Duration, L)
 	aggLag := AggregationLag(cl, workers, m.TotalBackward())
 
-	var members []int
-	var bytes int64
-	flush := func() {
-		if len(members) == 0 {
-			return
+	paramBytes := make([]int64, L)
+	for i, l := range m.Layers {
+		paramBytes[i] = l.ParamBytes
+	}
+	for _, members := range AssignBuckets(paramBytes, bucketBytes) {
+		var bytes int64
+		for _, l := range members {
+			bytes += paramBytes[l-1]
 		}
 		carrier := members[len(members)-1] // lowest layer: computed last
-		cost := SyncTime(cl, workers, BytePS, bytes)
-		sync[carrier-1] = cost
+		sync[carrier-1] = SyncTime(cl, workers, BytePS, bytes)
 		lag[carrier-1] = aggLag
 		// Other members complete with the bucket: model as lag-only syncs
 		// (no link occupancy, completion when the carrier would finish under
@@ -49,20 +51,37 @@ func BucketedCosts(m *models.Model, cl Cluster, workers int, bucketBytes int64) 
 			sync[l-1] = 0
 			lag[l-1] = 0
 		}
-		members = members[:0]
-		bytes = 0
 	}
-	for i := L; i >= 1; i-- {
-		members = append(members, i)
-		bytes += m.Layers[i-1].ParamBytes
-		if bytes >= bucketBytes {
-			flush()
-		}
-	}
-	flush()
 	base.SyncW = sync
 	base.SyncLag = lag
 	return base
+}
+
+// AssignBuckets is the bucket assignment BucketedCosts (and the real
+// data-parallel engine in internal/train) shares: walk the conventional
+// backward order L → 1, merging consecutive layers until a bucket holds at
+// least bucketBytes of parameters, then start the next one. Each returned
+// group lists its member layers (1-based) in walk order, so the last member
+// is the carrier — the lowest layer, the one whose δW completes the bucket
+// under conventional order. bucketBytes ≤ 0 yields one bucket per layer.
+func AssignBuckets(paramBytes []int64, bucketBytes int64) [][]int {
+	L := len(paramBytes)
+	groups := make([][]int, 0, L)
+	var members []int
+	var bytes int64
+	for i := L; i >= 1; i-- {
+		members = append(members, i)
+		bytes += paramBytes[i-1]
+		if bucketBytes <= 0 || bytes >= bucketBytes {
+			groups = append(groups, members)
+			members = nil
+			bytes = 0
+		}
+	}
+	if len(members) > 0 {
+		groups = append(groups, members)
+	}
+	return groups
 }
 
 // RunBucketed simulates one iteration with DDP-style bucketing, with or

@@ -67,3 +67,53 @@ func TestBucketingHelpsLatencyBoundModels(t *testing.T) {
 		t.Fatalf("bucketing collapsed: %v vs %v", bucketed.Throughput, perTensor.Throughput)
 	}
 }
+
+func TestAssignBuckets(t *testing.T) {
+	// Walks L→1; each group closes once it holds >= bucketBytes.
+	pb := []int64{100, 100, 100, 100, 100} // layers 1..5
+	groups := AssignBuckets(pb, 250)
+	want := [][]int{{5, 4, 3}, {2, 1}}
+	if len(groups) != len(want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+	for i := range want {
+		if len(groups[i]) != len(want[i]) {
+			t.Fatalf("groups = %v, want %v", groups, want)
+		}
+		for j := range want[i] {
+			if groups[i][j] != want[i][j] {
+				t.Fatalf("groups = %v, want %v", groups, want)
+			}
+		}
+	}
+
+	// bucketBytes <= 0: one bucket per layer, L down to 1.
+	per := AssignBuckets(pb, -1)
+	if len(per) != 5 {
+		t.Fatalf("per-layer groups = %v", per)
+	}
+	for i, g := range per {
+		if len(g) != 1 || g[0] != 5-i {
+			t.Fatalf("per-layer groups = %v", per)
+		}
+	}
+
+	// A trailing partial group is kept, and every layer appears exactly once.
+	groups = AssignBuckets([]int64{10, 10, 500, 10}, 200)
+	seen := map[int]bool{}
+	for _, g := range groups {
+		for _, l := range g {
+			if seen[l] {
+				t.Fatalf("layer %d assigned twice in %v", l, groups)
+			}
+			seen[l] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("groups %v cover %d layers, want 4", groups, len(seen))
+	}
+	last := groups[len(groups)-1]
+	if last[len(last)-1] != 1 {
+		t.Fatalf("last group %v must end at layer 1", last)
+	}
+}

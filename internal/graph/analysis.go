@@ -98,6 +98,19 @@ func Analyze(L int, s BackwardSchedule) (*Analysis, error) {
 	return a, nil
 }
 
+// DWRank returns, for layers 1..L, each layer's position among the schedule's
+// δW ops (0-based; rank[0] is unused). It is the completion order a serial
+// per-replica backward walk emits weight gradients in — the quantity a
+// data-parallel reducer needs to drain synchronization buckets in WFBP-style
+// completion order.
+func (a *Analysis) DWRank() []int {
+	rank := make([]int, a.L+1)
+	for j, l := range a.DWLayers {
+		rank[l] = j
+	}
+	return rank
+}
+
 // ReverseFirstK returns the reverse first-k order on L layers without a model
 // or memory constraint: δW of the deepest L−k layers stays next to its δO,
 // while δW_1..δW_k are deferred to the end of the pass (the paper's

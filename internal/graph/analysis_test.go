@@ -152,3 +152,29 @@ func randomLegal(L int, rng *rand.Rand) BackwardSchedule {
 	}
 	return s
 }
+
+func TestDWRank(t *testing.T) {
+	// Conventional: δW runs L, L-1, ..., 1 — rank of layer l is L-l.
+	const L = 5
+	a, err := Analyze(L, Conventional(L))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := a.DWRank()
+	for l := 1; l <= L; l++ {
+		if rank[l] != L-l {
+			t.Fatalf("conventional rank[%d] = %d, want %d", l, rank[l], L-l)
+		}
+	}
+	// Ranks invert DWLayers for any schedule.
+	a, err = Analyze(L, ReverseFirstK(L, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank = a.DWRank()
+	for j, l := range a.DWLayers {
+		if rank[l] != j {
+			t.Fatalf("rank[%d] = %d, want completion position %d", l, rank[l], j)
+		}
+	}
+}

@@ -239,11 +239,23 @@ func (l *Flatten) Params() []*Param          { return nil }
 // and integer labels, Loss returns the mean cross-entropy and the gradient
 // w.r.t. the logits (the δO_{L+1} of the paper's formulation).
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	grad := tensor.New(logits.Shape[0], logits.Shape[1])
+	loss := SoftmaxCrossEntropyInto(grad, logits, labels)
+	return loss, grad
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the logits gradient
+// into a caller-retained [N, classes] buffer (prior contents ignored), so warm
+// training steps skip the per-step gradient allocation. Bitwise identical to
+// SoftmaxCrossEntropy.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) float64 {
 	if logits.Dims() != 2 || logits.Shape[0] != len(labels) {
 		panic(fmt.Sprintf("nn: logits %v vs %d labels", logits.Shape, len(labels)))
 	}
 	n, c := logits.Shape[0], logits.Shape[1]
-	grad := tensor.New(n, c)
+	if grad.Dims() != 2 || grad.Shape[0] != n || grad.Shape[1] != c {
+		panic(fmt.Sprintf("nn: loss grad buffer %v, want %v", grad.Shape, logits.Shape))
+	}
 	var loss float64
 	for i := 0; i < n; i++ {
 		row := logits.Data[i*c : (i+1)*c]
@@ -269,5 +281,5 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.
 		}
 		grad.Data[i*c+y] -= 1 / float64(n)
 	}
-	return loss / float64(n), grad
+	return loss / float64(n)
 }

@@ -120,6 +120,91 @@ func (o *Adam) Step(params []*Param) {
 	}
 }
 
+// StateWalker is implemented by optimizers that keep per-parameter internal
+// state (velocity, squared-gradient averages, moments). The state maps are
+// keyed by *Param, so their iteration order is nondeterministic; WalkState is
+// the deterministic ordered path — it visits parameters in the given order and
+// hands each one its state slices — which data-parallel runs and tests use to
+// compare optimizer state across engines and processes.
+type StateWalker interface {
+	// WalkState visits every parameter in params order. State slices are the
+	// optimizer's live buffers (not copies); a parameter that has not been
+	// stepped yet gets nil slices.
+	WalkState(params []*Param, visit func(p *Param, state ...[]float64))
+}
+
+// WalkState visits the velocity buffers in params order.
+func (o *Momentum) WalkState(params []*Param, visit func(p *Param, state ...[]float64)) {
+	for _, p := range params {
+		visit(p, o.vel[p])
+	}
+}
+
+// WalkState visits the squared-gradient buffers in params order.
+func (o *RMSProp) WalkState(params []*Param, visit func(p *Param, state ...[]float64)) {
+	for _, p := range params {
+		visit(p, o.sq[p])
+	}
+}
+
+// WalkState visits the first- and second-moment buffers in params order.
+func (o *Adam) WalkState(params []*Param, visit func(p *Param, state ...[]float64)) {
+	for _, p := range params {
+		visit(p, o.m[p], o.v[p])
+	}
+}
+
+// StateSnapshot deep-copies an optimizer's per-parameter state in params
+// order, keyed by parameter name. Optimizers without internal state (SGD, or
+// any non-StateWalker) yield an empty map; parameters not yet stepped are
+// omitted.
+func StateSnapshot(o Optimizer, params []*Param) map[string][][]float64 {
+	out := make(map[string][][]float64)
+	w, ok := o.(StateWalker)
+	if !ok {
+		return out
+	}
+	w.WalkState(params, func(p *Param, state ...[]float64) {
+		cp := make([][]float64, 0, len(state))
+		any := false
+		for _, s := range state {
+			if s != nil {
+				any = true
+			}
+			cp = append(cp, append([]float64(nil), s...))
+		}
+		if any {
+			out[p.Name] = cp
+		}
+	})
+	return out
+}
+
+// StateSnapshotsEqual reports whether two state snapshots are bit-for-bit
+// identical.
+func StateSnapshotsEqual(a, b map[string][][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || len(va) != len(vb) {
+			return false
+		}
+		for i := range va {
+			if len(va[i]) != len(vb[i]) {
+				return false
+			}
+			for j := range va[i] {
+				if va[i][j] != vb[i][j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
 // LRSchedule maps a 0-based training step to a learning rate. Combine with
 // the optimizers by assigning their LR field before each step.
 type LRSchedule func(step int) float64

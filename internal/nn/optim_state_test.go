@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"oooback/internal/tensor"
+)
+
+func statePrms(rng *rand.Rand, n int) []*Param {
+	prms := make([]*Param, n)
+	for i := range prms {
+		sz := 2 + rng.Intn(6)
+		p := &Param{Name: string(rune('a'+i)) + ".W", Value: tensor.New(sz), Grad: tensor.New(sz)}
+		for j := range p.Value.Data {
+			p.Value.Data[j] = rng.NormFloat64()
+		}
+		prms[i] = p
+	}
+	return prms
+}
+
+func fillGrads(rng *rand.Rand, prms []*Param) {
+	for _, p := range prms {
+		for j := range p.Grad.Data {
+			p.Grad.Data[j] = rng.NormFloat64()
+		}
+	}
+}
+
+// TestWalkStateMatchesMapState is the differential test for the ordered
+// optimizer-state walk: for every stateful optimizer, WalkState must hand out
+// the exact live buffers the map-keyed Step path maintains — same identity,
+// same order as params, nil before the first step — so two training runs can
+// be compared state-for-state without depending on map iteration order.
+func TestWalkStateMatchesMapState(t *testing.T) {
+	cases := []struct {
+		name   string
+		opt    Optimizer
+		slices int
+	}{
+		{"momentum", &Momentum{LR: 0.1, Beta: 0.9}, 1},
+		{"rmsprop", &RMSProp{LR: 0.01, Decay: 0.9}, 1},
+		{"adam", &Adam{LR: 0.01}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			prms := statePrms(rng, 5)
+			w := tc.opt.(StateWalker)
+
+			// Before any step: every state slice is nil.
+			w.WalkState(prms, func(p *Param, state ...[]float64) {
+				if len(state) != tc.slices {
+					t.Fatalf("%s: %d state slices, want %d", p.Name, len(state), tc.slices)
+				}
+				for _, s := range state {
+					if s != nil {
+						t.Fatalf("%s: non-nil state before first step", p.Name)
+					}
+				}
+			})
+			if len(StateSnapshot(tc.opt, prms)) != 0 {
+				t.Fatal("non-empty snapshot before first step")
+			}
+
+			for step := 0; step < 3; step++ {
+				fillGrads(rng, prms)
+				tc.opt.Step(prms)
+			}
+
+			// After stepping: the walk visits params in order and yields the
+			// live buffers (mutating them must change the next snapshot).
+			i := 0
+			w.WalkState(prms, func(p *Param, state ...[]float64) {
+				if p != prms[i] {
+					t.Fatalf("walk visited %s at position %d, want %s", p.Name, i, prms[i].Name)
+				}
+				for si, s := range state {
+					if len(s) != len(p.Value.Data) {
+						t.Fatalf("%s state %d has %d elems, want %d", p.Name, si, len(s), len(p.Value.Data))
+					}
+				}
+				i++
+			})
+			if i != len(prms) {
+				t.Fatalf("walk visited %d params, want %d", i, len(prms))
+			}
+
+			snap := StateSnapshot(tc.opt, prms)
+			if len(snap) != len(prms) {
+				t.Fatalf("snapshot holds %d params, want %d", len(snap), len(prms))
+			}
+			if !StateSnapshotsEqual(snap, StateSnapshot(tc.opt, prms)) {
+				t.Fatal("back-to-back snapshots differ")
+			}
+			// Snapshots are deep copies: mutating live state must not change
+			// an existing snapshot, but must change the next one.
+			w.WalkState(prms[:1], func(p *Param, state ...[]float64) {
+				state[0][0] += 1
+			})
+			if StateSnapshotsEqual(snap, StateSnapshot(tc.opt, prms)) {
+				t.Fatal("snapshot aliased live state")
+			}
+		})
+	}
+
+	// SGD has no state: empty snapshot, equal to itself.
+	sgd := &SGD{LR: 0.1}
+	prms := statePrms(rand.New(rand.NewSource(1)), 2)
+	fillGrads(rand.New(rand.NewSource(2)), prms)
+	sgd.Step(prms)
+	if len(StateSnapshot(sgd, prms)) != 0 {
+		t.Fatal("SGD produced optimizer state")
+	}
+}
+
+// TestSoftmaxCrossEntropyIntoBitwise: the buffer-reusing form matches the
+// allocating form bit for bit, including on a dirty reused buffer.
+func TestSoftmaxCrossEntropyIntoBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	logits := tensor.New(6, 4)
+	for i := range logits.Data {
+		logits.Data[i] = rng.NormFloat64()
+	}
+	labels := []int{0, 3, 1, 2, 2, 0}
+	wantLoss, wantGrad := SoftmaxCrossEntropy(logits, labels)
+
+	grad := tensor.New(6, 4)
+	for i := range grad.Data {
+		grad.Data[i] = 99 // dirty: Into must fully overwrite
+	}
+	gotLoss := SoftmaxCrossEntropyInto(grad, logits, labels)
+	if gotLoss != wantLoss {
+		t.Fatalf("loss %v, want %v", gotLoss, wantLoss)
+	}
+	if !tensor.Equal(grad, wantGrad) {
+		t.Fatal("gradients differ between Into and allocating forms")
+	}
+
+	if n := testing.AllocsPerRun(10, func() {
+		SoftmaxCrossEntropyInto(grad, logits, labels)
+	}); n != 0 {
+		t.Fatalf("SoftmaxCrossEntropyInto allocates %v per call, want 0", n)
+	}
+}

@@ -102,6 +102,13 @@ type Executor struct {
 	cachedL     int
 	cachedPeak  int
 
+	// onDW, if set, runs after each δW op completes, with the 1-based layer
+	// index. The data-parallel engine uses it to publish gradient buckets to
+	// the reducer the moment their last member layer finishes — possibly far
+	// out of layout order. In serial mode it runs on the calling goroutine; in
+	// concurrent mode on the pool worker that executed the op.
+	onDW func(layer int)
+
 	// Tracing (nil tr = disabled; not the warm path).
 	tr        *trace.Trace
 	traceMu   sync.Mutex
@@ -194,6 +201,15 @@ func (e *Executor) SetTrace(tr *trace.Trace) {
 	e.t0 = time.Now()
 }
 
+// SetDWCallback installs (or clears, with nil) the per-δW completion hook.
+// Call between Backward passes, never during one.
+func (e *Executor) SetDWCallback(fn func(layer int)) {
+	if e == nil {
+		return
+	}
+	e.onDW = fn
+}
+
 const laneCritical = "dO-chain"
 
 func (e *Executor) now() time.Duration { return time.Since(e.t0) }
@@ -237,6 +253,9 @@ func (e *Executor) runDW(worker int, t dwTask) {
 		e.span(e.laneNames[worker], graph.Op{Kind: graph.WeightGrad, Layer: t.idx}, start, e.now())
 	} else {
 		wsWeightGrad(t.layer, t.grad, e.laneWS[worker])
+	}
+	if e.onDW != nil {
+		e.onDW(t.idx)
 	}
 	e.release(t.idx)
 	e.dwWG.Done()
@@ -377,6 +396,9 @@ func (e *Executor) backwardSerial(n *Network, lossGrad *tensor.Tensor, sched gra
 			}
 		case graph.WeightGrad:
 			wsWeightGrad(n.Layers[i-1], g, e.chainWS)
+			if e.onDW != nil {
+				e.onDW(i)
+			}
 		}
 		if tracing {
 			e.span(laneCritical, op, start, e.now())

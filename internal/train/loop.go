@@ -14,44 +14,77 @@ type Batch struct {
 	Labels []int
 }
 
-// Batches splits a dataset of n examples (x's first dimension) into
-// mini-batches of the given size, in deterministic order with a deterministic
-// per-epoch shuffle derived from seed. The final short batch is kept.
-func Batches(x *tensor.Tensor, labels []int, batchSize int, seed uint64) []Batch {
-	n := x.Shape[0]
-	if len(labels) != n {
-		panic(fmt.Sprintf("train: %d labels for %d examples", len(labels), n))
+// BatchBuffer owns the reusable storage of a batching pass. Calling its
+// Batches method epoch after epoch rewrites the same batch tensors and label
+// slices in place, so a steady-state training loop performs no per-epoch
+// batch allocations. The returned batches alias the buffer: they are valid
+// until the next Batches call.
+type BatchBuffer struct {
+	perm    []int
+	shape   []int
+	batches []Batch
+}
+
+// Batches splits a dataset into mini-batches of the given size, in
+// deterministic order with a deterministic per-epoch shuffle derived from
+// seed. Examples are counted by labels (n = len(labels)); x's leading
+// dimension must be a multiple of n, covering both row-per-example inputs
+// ([n, ...]) and flattened token inputs ([n·seqLen]). The final short batch
+// is kept.
+func (bb *BatchBuffer) Batches(x *tensor.Tensor, labels []int, batchSize int, seed uint64) []Batch {
+	n := len(labels)
+	if n == 0 || x.Shape[0]%n != 0 {
+		panic(fmt.Sprintf("train: leading dim %d not a multiple of %d labels", x.Shape[0], n))
 	}
 	if batchSize <= 0 {
 		panic("train: non-positive batch size")
 	}
+	rowsPer := x.Shape[0] / n
 	per := x.Len() / n
-	perm := make([]int, n)
-	for i := range perm {
-		perm[i] = i
+	if cap(bb.perm) < n {
+		bb.perm = make([]int, n)
+	}
+	bb.perm = bb.perm[:n]
+	for i := range bb.perm {
+		bb.perm[i] = i
 	}
 	rng := tensor.NewRNG(seed)
 	for i := n - 1; i > 0; i-- {
 		j := int(rng.Uint64() % uint64(i+1))
-		perm[i], perm[j] = perm[j], perm[i]
+		bb.perm[i], bb.perm[j] = bb.perm[j], bb.perm[i]
 	}
-	var out []Batch
-	for lo := 0; lo < n; lo += batchSize {
+	nb := (n + batchSize - 1) / batchSize
+	if cap(bb.batches) < nb {
+		grown := make([]Batch, nb)
+		copy(grown, bb.batches)
+		bb.batches = grown
+	}
+	bb.batches = bb.batches[:nb]
+	for bi := 0; bi < nb; bi++ {
+		lo := bi * batchSize
 		hi := lo + batchSize
 		if hi > n {
 			hi = n
 		}
-		shape := append([]int{hi - lo}, x.Shape[1:]...)
-		bx := tensor.New(shape...)
-		bl := make([]int, hi-lo)
+		b := &bb.batches[bi]
+		bb.shape = append(bb.shape[:0], (hi-lo)*rowsPer)
+		bb.shape = append(bb.shape, x.Shape[1:]...)
+		b.X = tensor.Ensure(b.X, bb.shape...)
+		b.Labels = b.Labels[:0]
 		for i := lo; i < hi; i++ {
-			src := perm[i]
-			copy(bx.Data[(i-lo)*per:(i-lo+1)*per], x.Data[src*per:(src+1)*per])
-			bl[i-lo] = labels[src]
+			src := bb.perm[i]
+			copy(b.X.Data[(i-lo)*per:(i-lo+1)*per], x.Data[src*per:(src+1)*per])
+			b.Labels = append(b.Labels, labels[src])
 		}
-		out = append(out, Batch{X: bx, Labels: bl})
 	}
-	return out
+	return bb.batches
+}
+
+// Batches is the one-shot form of BatchBuffer.Batches: it allocates a fresh
+// buffer per call, so the returned batches are independent tensors.
+func Batches(x *tensor.Tensor, labels []int, batchSize int, seed uint64) []Batch {
+	var bb BatchBuffer
+	return bb.Batches(x, labels, batchSize, seed)
 }
 
 // FitConfig drives Fit.
@@ -70,20 +103,34 @@ type FitConfig struct {
 	Seed uint64
 	// Exec selects the backward execution engine (nil = serial). A concurrent
 	// executor overlaps δW work with the δO chain without changing any
-	// gradient bit, so trajectories are identical across engines.
+	// gradient bit, so trajectories are identical across engines. Ignored when
+	// Replicas > 1 (each replica runs its own serial executor).
 	Exec *Executor
+	// Replicas trains data-parallel when > 1: each batch is sharded across
+	// this many model replicas whose gradients are bucket-reduced overlapped
+	// with backward (see DataParallel).
+	Replicas int
+	// BuildReplica constructs one additional replica network; required when
+	// Replicas > 1.
+	BuildReplica func() *Network
+	// Sync picks the data-parallel reducer's bucket drain order.
+	Sync SyncSchedule
+	// BucketBytes is the data-parallel gradient bucket size (0 = default).
+	BucketBytes int64
 }
 
-// Fit trains the network and returns the mean loss of each epoch. It is the
-// high-level loop cmd/oootrain and the examples build on; everything is
-// deterministic, so two Fit calls with equal inputs produce identical
-// trajectories regardless of the backward schedule used.
+// Fit trains the network and returns the mean loss of each epoch — each
+// batch's mean loss weighted by its size, so the final short batch does not
+// skew the epoch mean. It is the high-level loop cmd/oootrain and the
+// examples build on; everything is deterministic, so two Fit calls with equal
+// inputs produce identical trajectories regardless of the backward schedule
+// or execution engine used.
 func Fit(n *Network, x *tensor.Tensor, labels []int, opt nn.Optimizer, cfg FitConfig) ([]float64, error) {
 	if cfg.Epochs < 1 {
 		cfg.Epochs = 1
 	}
 	if cfg.BatchSize <= 0 {
-		cfg.BatchSize = x.Shape[0]
+		cfg.BatchSize = len(labels)
 	}
 	sched := cfg.Schedule
 	if sched == nil {
@@ -92,23 +139,43 @@ func Fit(n *Network, x *tensor.Tensor, labels []int, opt nn.Optimizer, cfg FitCo
 	if cfg.LR != nil && cfg.SetLR == nil {
 		return nil, fmt.Errorf("train: LR schedule given without SetLR")
 	}
+	stepFn := func(b Batch) (float64, error) {
+		return cfg.Exec.Step(n, b.X, b.Labels, sched, opt)
+	}
+	if cfg.Replicas > 1 {
+		dp, err := NewDataParallel(n, opt, DataParallelConfig{
+			Replicas:    cfg.Replicas,
+			Build:       cfg.BuildReplica,
+			Schedule:    sched,
+			Sync:        cfg.Sync,
+			BucketBytes: cfg.BucketBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer dp.Close()
+		stepFn = func(b Batch) (float64, error) {
+			loss, _, err := dp.Step(b.X, b.Labels)
+			return loss, err
+		}
+	}
 	var epochLosses []float64
+	var bb BatchBuffer
 	step := 0
 	for e := 0; e < cfg.Epochs; e++ {
 		var sum float64
-		batches := Batches(x, labels, cfg.BatchSize, cfg.Seed+uint64(e))
-		for _, b := range batches {
+		for _, b := range bb.Batches(x, labels, cfg.BatchSize, cfg.Seed+uint64(e)) {
 			if cfg.LR != nil {
 				cfg.SetLR(cfg.LR(step))
 			}
-			loss, err := cfg.Exec.Step(n, b.X, b.Labels, sched, opt)
+			loss, err := stepFn(b)
 			if err != nil {
 				return nil, err
 			}
-			sum += loss
+			sum += loss * float64(len(b.Labels))
 			step++
 		}
-		epochLosses = append(epochLosses, sum/float64(len(batches)))
+		epochLosses = append(epochLosses, sum/float64(len(labels)))
 	}
 	return epochLosses, nil
 }

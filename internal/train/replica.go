@@ -1,0 +1,461 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"oooback/internal/graph"
+	"oooback/internal/nn"
+	"oooback/internal/tensor"
+)
+
+// DataParallel trains N replicas of one network on disjoint shards of each
+// batch, with gradient reduction overlapped with the still-running backward
+// passes — the real (executed, not simulated) counterpart of the paper's §5.1
+// gradient synchronization scheduling. Each replica runs forward and an
+// out-of-order backward pass on its shard via its own serial Executor; the
+// moment a replica finishes the last δW of a gradient bucket (possibly far
+// out of layout order, e.g. under reverse first-k), it publishes the bucket
+// to a dedicated reducer goroutine. The reducer sums every bucket across
+// replicas with a fixed pairwise tree the instant all N replicas published
+// it, draining ready buckets in SyncSchedule priority order, concurrently
+// with whatever backward work remains. A single optimizer step then applies
+// the averaged gradient and broadcasts the updated weights to all replicas.
+//
+// Determinism: the reduction tree shape, the intra-bucket chunk order, and
+// every kernel it calls are fixed by replica index and tensor size alone, so
+// the summed gradient — and therefore the entire training trajectory — is
+// bitwise identical to ReferenceStep (the same sharding and tree run serially
+// on one goroutine) regardless of goroutine timing, GOMAXPROCS, or sync
+// schedule. With one replica, Step degenerates to plain single-network
+// training: no summing, no averaging, bit-identical to Executor.Step.
+//
+// A DataParallel is not safe for concurrent use: one Step or ReferenceStep at
+// a time, and Close only after the last step returned.
+type DataParallel struct {
+	replicas []*replica
+	plan     *reducePlan
+	sched    graph.BackwardSchedule
+	sync     SyncSchedule
+	opt      nn.Optimizer
+
+	pub     chan pubMsg      // replicas → reducer: bucket complete on replica
+	redDone chan reduceStats // reducer → step: all buckets reduced
+	acks    chan error       // replicas → step: phase complete
+	wg      sync.WaitGroup
+
+	// dwPerBucket[b] is the member-layer count of bucket b — the per-replica
+	// publish countdown reset at each backward start.
+	dwPerBucket []int
+
+	// refMode suppresses bucket publishing while ReferenceStep runs the
+	// replicas serially on the caller's goroutine. Written only between
+	// concurrent phases, so the replica goroutines' reads are ordered by the
+	// command-channel sends.
+	refMode bool
+
+	closed bool
+}
+
+// replica is one model copy with its private executor and step state.
+type replica struct {
+	id      int
+	net     *Network
+	exec    *Executor
+	params  []*nn.Param
+	pending []int // per-bucket remaining δW count, owned by the running goroutine
+
+	sx       *tensor.Tensor // retained shard view header into the step batch
+	slabels  []int          // shard labels (subslice of the step batch)
+	lossGrad *tensor.Tensor // retained loss-gradient buffer
+	loss     float64        // shard mean loss of the last forward
+
+	cmd chan replicaOp
+}
+
+type replicaOp int
+
+const (
+	opForward replicaOp = iota
+	opBackward
+)
+
+// DataParallelConfig configures NewDataParallel.
+type DataParallelConfig struct {
+	// Replicas is the data-parallel width N; ≤ 1 means single-replica.
+	Replicas int
+	// Build constructs one fresh replica network (same architecture and
+	// deterministic init as the prototype; parameter values are overwritten
+	// with the prototype's). Required when Replicas > 1.
+	Build func() *Network
+	// Schedule is the backward schedule every replica executes; nil means
+	// conventional.
+	Schedule graph.BackwardSchedule
+	// Sync picks the reducer's bucket drain order.
+	Sync SyncSchedule
+	// BucketBytes is the gradient bucket size; 0 means 256 KiB, < 0 means one
+	// bucket per layer.
+	BucketBytes int64
+}
+
+// defaultBucketBytes mirrors the 25 MB DDP default scaled to this repo's
+// model sizes: big enough to merge small layers, small enough that several
+// buckets exist to overlap and prioritize.
+const defaultBucketBytes = 256 << 10
+
+// NewDataParallel builds the engine around a prototype network. The
+// prototype becomes replica 0 — trained weights land in the caller's network
+// — and cfg.Build creates replicas 1..N−1, which must align with the
+// prototype parameter-for-parameter (same names and shapes, as produced by
+// the same constructor with any seed). Close must be called to stop the
+// engine's goroutines.
+func NewDataParallel(proto *Network, opt nn.Optimizer, cfg DataParallelConfig) (*DataParallel, error) {
+	N := cfg.Replicas
+	if N < 1 {
+		N = 1
+	}
+	L := len(proto.Layers)
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = graph.Conventional(L)
+	}
+	a, err := graph.Analyze(L, sched)
+	if err != nil {
+		return nil, fmt.Errorf("train: data-parallel schedule: %w", err)
+	}
+	bb := cfg.BucketBytes
+	if bb == 0 {
+		bb = defaultBucketBytes
+	}
+	dp := &DataParallel{
+		plan:  newReducePlan(proto, a, cfg.Sync, bb),
+		sched: append(graph.BackwardSchedule(nil), sched...),
+		sync:  cfg.Sync,
+		opt:   opt,
+	}
+	B := len(dp.plan.buckets)
+	dp.pub = make(chan pubMsg, B*N+1)
+	dp.redDone = make(chan reduceStats, 1)
+	dp.acks = make(chan error, N)
+	dp.dwPerBucket = make([]int, B)
+	for i := range dp.plan.buckets {
+		dp.dwPerBucket[i] = len(dp.plan.buckets[i].layers)
+	}
+	for r := 0; r < N; r++ {
+		net := proto
+		if r > 0 {
+			if cfg.Build == nil {
+				return nil, fmt.Errorf("train: %d replicas need a Build function", N)
+			}
+			net = cfg.Build()
+			if err := alignParams(proto, net); err != nil {
+				return nil, err
+			}
+			for i, p := range net.Params() {
+				copy(p.Value.Data, proto.Params()[i].Value.Data)
+			}
+		}
+		rep := &replica{
+			id:      r,
+			net:     net,
+			exec:    NewExecutor(ExecSerial, 0),
+			params:  net.Params(),
+			pending: make([]int, B),
+			cmd:     make(chan replicaOp),
+		}
+		rid := r
+		rep.exec.SetDWCallback(func(layer int) {
+			if dp.refMode {
+				return
+			}
+			b := dp.plan.layerBucket[layer]
+			if b < 0 {
+				return
+			}
+			if rep.pending[b]--; rep.pending[b] == 0 {
+				dp.pub <- pubMsg{bucket: b, replica: rid}
+			}
+		})
+		dp.replicas = append(dp.replicas, rep)
+	}
+	dp.wg.Add(N + 1)
+	for _, rep := range dp.replicas {
+		go dp.replicaLoop(rep)
+	}
+	go dp.reducerLoop()
+	return dp, nil
+}
+
+// alignParams checks that a built replica matches the prototype
+// parameter-for-parameter.
+func alignParams(proto, rep *Network) error {
+	pp, rp := proto.Params(), rep.Params()
+	if len(pp) != len(rp) {
+		return fmt.Errorf("train: replica has %d params, prototype %d", len(rp), len(pp))
+	}
+	for i := range pp {
+		if pp[i].Name != rp[i].Name {
+			return fmt.Errorf("train: replica param %d is %q, prototype %q", i, rp[i].Name, pp[i].Name)
+		}
+		if len(pp[i].Value.Data) != len(rp[i].Value.Data) {
+			return fmt.Errorf("train: replica param %q has %d elements, prototype %d",
+				pp[i].Name, len(rp[i].Value.Data), len(pp[i].Value.Data))
+		}
+	}
+	return nil
+}
+
+// Net returns replica 0's network — the one whose parameters the optimizer
+// updates and that holds the trained weights.
+func (dp *DataParallel) Net() *Network { return dp.replicas[0].net }
+
+// Replicas returns the data-parallel width.
+func (dp *DataParallel) Replicas() int { return len(dp.replicas) }
+
+// BucketInfo describes one bucket of the reduction plan.
+type BucketInfo struct {
+	Layers []int // member layers, 1-based, in L→1 walk order
+	Elems  int   // total gradient elements synchronized by the bucket
+	Prio   int   // drain key: lower drains first among ready buckets
+}
+
+// Plan returns the reduction plan's buckets in index order.
+func (dp *DataParallel) Plan() []BucketInfo {
+	out := make([]BucketInfo, len(dp.plan.buckets))
+	for i, b := range dp.plan.buckets {
+		out[i] = BucketInfo{
+			Layers: append([]int(nil), b.layers...),
+			Elems:  b.elems,
+			Prio:   b.prio,
+		}
+	}
+	return out
+}
+
+// StepStats reports one Step's timing decomposition. ReduceBusy is the time
+// the reducer spent summing buckets; ReduceExposed is the part of reduction
+// that extended past the last replica's backward completion — the
+// non-overlapped remainder, the quantity the paper's §5.1 scheduling
+// minimizes. Perfect overlap shows ReduceExposed ≈ 0 with ReduceBusy > 0.
+type StepStats struct {
+	Replicas                  int
+	Buckets                   int
+	Forward                   time.Duration // wall time of the parallel forward phase
+	Backward                  time.Duration // wall time of the parallel backward phase
+	ReduceBusy, ReduceExposed time.Duration
+}
+
+// replicaLoop is one replica's persistent goroutine: it executes forward and
+// backward phases on command and acknowledges each. All replica state
+// (network, workspaces, pending counters) is owned by this goroutine while a
+// phase runs; ownership transfers through the command/ack channels.
+func (dp *DataParallel) replicaLoop(r *replica) {
+	defer dp.wg.Done()
+	for op := range r.cmd {
+		switch op {
+		case opForward:
+			r.net.ZeroGrads()
+			logits := r.net.Forward(r.sx)
+			r.lossGrad = tensor.Ensure(r.lossGrad, logits.Shape[0], logits.Shape[1])
+			r.loss = nn.SoftmaxCrossEntropyInto(r.lossGrad, logits, r.slabels)
+			dp.acks <- nil
+		case opBackward:
+			copy(r.pending, dp.dwPerBucket)
+			_, err := r.exec.Backward(r.net, r.lossGrad, dp.sched)
+			if err != nil {
+				// Cannot happen for a schedule validated at construction, but
+				// keep the reducer's per-step accounting consistent anyway:
+				// publish whatever this replica never finished.
+				for b, left := range r.pending {
+					if left > 0 {
+						r.pending[b] = 0
+						dp.pub <- pubMsg{bucket: b, replica: r.id}
+					}
+				}
+			}
+			dp.acks <- err
+		}
+	}
+}
+
+// shard points each replica's retained view header at its contiguous slice
+// of the batch. Examples are counted by labels (len(labels) = n); the input's
+// leading dimension must be a multiple of n, covering both row-per-example
+// inputs ([n, ...]) and flattened token inputs ([n·seqLen]). Warm calls
+// allocate nothing: view headers and shape slices are reused.
+func (dp *DataParallel) shard(x *tensor.Tensor, labels []int) error {
+	n := len(labels)
+	N := len(dp.replicas)
+	if n < N {
+		return fmt.Errorf("train: %d examples across %d replicas", n, N)
+	}
+	if x.Shape[0]%n != 0 {
+		return fmt.Errorf("train: leading dim %d not a multiple of %d examples", x.Shape[0], n)
+	}
+	rowsPer := x.Shape[0] / n
+	rowLen := x.Len() / x.Shape[0]
+	for r, rep := range dp.replicas {
+		lo, hi := r*n/N, (r+1)*n/N
+		rep.slabels = labels[lo:hi]
+		if rep.sx == nil {
+			rep.sx = &tensor.Tensor{Shape: make([]int, 0, len(x.Shape))}
+		}
+		rep.sx.Shape = append(rep.sx.Shape[:0], (hi-lo)*rowsPer)
+		rep.sx.Shape = append(rep.sx.Shape, x.Shape[1:]...)
+		rep.sx.Data = x.Data[lo*rowsPer*rowLen : hi*rowsPer*rowLen]
+	}
+	return nil
+}
+
+// Step runs one data-parallel training step: parallel forward, parallel
+// out-of-order backward with overlapped bucket reduction, one optimizer step
+// on the averaged gradient, and a weight broadcast. Returns the batch mean
+// loss (each shard's mean weighted by shard size — identical bits to
+// ReferenceStep) and the step's timing decomposition.
+func (dp *DataParallel) Step(x *tensor.Tensor, labels []int) (float64, StepStats, error) {
+	if len(labels) < len(dp.replicas) {
+		return dp.smallBatchStep(x, labels)
+	}
+	st := StepStats{Replicas: len(dp.replicas), Buckets: len(dp.plan.buckets)}
+	if err := dp.shard(x, labels); err != nil {
+		return 0, st, err
+	}
+	dp.forwardPhase(&st)
+	if err := dp.backwardReducePhase(&st); err != nil {
+		return 0, st, err
+	}
+	loss := dp.foldLoss(len(labels))
+	dp.applyUpdate()
+	return loss, st, nil
+}
+
+// forwardPhase runs every replica's forward pass concurrently.
+func (dp *DataParallel) forwardPhase(st *StepStats) {
+	t0 := time.Now()
+	for _, rep := range dp.replicas {
+		rep.cmd <- opForward
+	}
+	for range dp.replicas {
+		<-dp.acks
+	}
+	st.Forward = time.Since(t0)
+}
+
+// backwardReducePhase runs every replica's backward pass concurrently while
+// the reducer drains published buckets, then waits for the last bucket.
+// This — not the forward pass, whose layer outputs allocate — is the
+// engine's zero-allocation warm path.
+func (dp *DataParallel) backwardReducePhase(st *StepStats) error {
+	t0 := time.Now()
+	for _, rep := range dp.replicas {
+		rep.cmd <- opBackward
+	}
+	var firstErr error
+	for range dp.replicas {
+		if err := <-dp.acks; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	tB := time.Now()
+	rs := <-dp.redDone
+	st.Backward = tB.Sub(t0)
+	st.ReduceBusy = rs.busy
+	if exposed := rs.end.Sub(tB); exposed > 0 {
+		st.ReduceExposed = exposed
+	}
+	return firstErr
+}
+
+// foldLoss combines shard mean losses into the batch mean, in replica order.
+func (dp *DataParallel) foldLoss(n int) float64 {
+	var loss float64
+	for _, rep := range dp.replicas {
+		loss += rep.loss * float64(len(rep.slabels))
+	}
+	return loss / float64(n)
+}
+
+// applyUpdate steps the optimizer on replica 0 (which holds the averaged
+// gradient after reduction) and broadcasts the new weights to the others.
+func (dp *DataParallel) applyUpdate() {
+	r0 := dp.replicas[0]
+	dp.opt.Step(r0.params)
+	for _, rep := range dp.replicas[1:] {
+		for i, p := range rep.params {
+			copy(p.Value.Data, r0.params[i].Value.Data)
+		}
+	}
+}
+
+// smallBatchStep handles a batch with fewer examples than replicas — e.g.
+// the final short batch of an epoch. Sharding it is impossible, so replica 0
+// runs the whole batch serially on the calling goroutine (no reduction, no
+// averaging) and the update broadcasts as usual. Deterministic: the path
+// taken depends only on the batch size.
+func (dp *DataParallel) smallBatchStep(x *tensor.Tensor, labels []int) (float64, StepStats, error) {
+	st := StepStats{Replicas: 1, Buckets: len(dp.plan.buckets)}
+	dp.refMode = true
+	defer func() { dp.refMode = false }()
+	r0 := dp.replicas[0]
+	t0 := time.Now()
+	r0.net.ZeroGrads()
+	logits := r0.net.Forward(x)
+	r0.lossGrad = tensor.Ensure(r0.lossGrad, logits.Shape[0], logits.Shape[1])
+	loss := nn.SoftmaxCrossEntropyInto(r0.lossGrad, logits, labels)
+	st.Forward = time.Since(t0)
+	t1 := time.Now()
+	if _, err := r0.exec.Backward(r0.net, r0.lossGrad, dp.sched); err != nil {
+		return 0, st, err
+	}
+	st.Backward = time.Since(t1)
+	dp.applyUpdate()
+	return loss, st, nil
+}
+
+// ReferenceStep is the serial oracle for Step: the same shards, the same
+// backward schedule, the same fixed reduction tree and bucket arithmetic —
+// all executed sequentially on the calling goroutine, replica by replica,
+// bucket by bucket in index order. Step must match it bit for bit; the
+// differential tests assert exactly that under the race detector.
+func (dp *DataParallel) ReferenceStep(x *tensor.Tensor, labels []int) (float64, error) {
+	if len(labels) < len(dp.replicas) {
+		loss, _, err := dp.smallBatchStep(x, labels)
+		return loss, err
+	}
+	if err := dp.shard(x, labels); err != nil {
+		return 0, err
+	}
+	dp.refMode = true
+	defer func() { dp.refMode = false }()
+	for _, rep := range dp.replicas {
+		rep.net.ZeroGrads()
+		logits := rep.net.Forward(rep.sx)
+		rep.lossGrad = tensor.Ensure(rep.lossGrad, logits.Shape[0], logits.Shape[1])
+		rep.loss = nn.SoftmaxCrossEntropyInto(rep.lossGrad, logits, rep.slabels)
+		if _, err := rep.exec.Backward(rep.net, rep.lossGrad, dp.sched); err != nil {
+			return 0, err
+		}
+	}
+	for b := range dp.plan.buckets {
+		dp.reduceBucket(b)
+	}
+	loss := dp.foldLoss(len(labels))
+	dp.applyUpdate()
+	return loss, nil
+}
+
+// Close stops the replica and reducer goroutines. Idempotent; must not
+// overlap a step.
+func (dp *DataParallel) Close() {
+	if dp.closed {
+		return
+	}
+	dp.closed = true
+	for _, rep := range dp.replicas {
+		close(rep.cmd)
+		rep.exec.Close()
+	}
+	close(dp.pub)
+	dp.wg.Wait()
+}
