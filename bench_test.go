@@ -424,6 +424,74 @@ func BenchmarkTrainDataParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainPipeline measures full microbatch pipeline-parallel training
+// steps — sharded microbatch forwards, staged δO chain, out-of-order δW
+// bubble filling, optimizer update — across both disciplines with filling on
+// and off. Custom metrics decompose the bubble: bubble-exposed-ns is stage
+// time blocked with nothing to run, bubble-filled-ns is stage time spent on
+// deferred δW inside bubbles. Filling shows as exposed(fill) <
+// exposed(nofill); on a single-core host the stages serialize and parity is
+// expected.
+func BenchmarkTrainPipeline(b *testing.B) {
+	x, labels := data.Vectors(3, 32, 64, 4)
+	build := func() *train.Network { return train.MLPNet(11, 64, 96, 4, 4) }
+	for _, sched := range []train.PipeSchedule{train.PipeGPipe, train.Pipe1F1B} {
+		for _, fill := range []bool{true, false} {
+			name := fmt.Sprintf("%v/fill=%v", sched, fill)
+			b.Run(name, func(b *testing.B) {
+				pipe, err := train.NewPipeline(build(), &nn.SGD{LR: 0.01}, train.PipelineConfig{
+					Stages: 3, MicroBatches: 4, Schedule: sched, Build: build, NoDWFill: !fill,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(pipe.Close)
+				if _, _, err := pipe.Step(x, labels); err != nil { // warm buffers and lanes
+					b.Fatal(err)
+				}
+				var exposed, filled time.Duration
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, st, err := pipe.Step(x, labels)
+					if err != nil {
+						b.Fatal(err)
+					}
+					exposed += st.BubbleExposed()
+					filled += st.BubbleFilled()
+				}
+				b.ReportMetric(float64(exposed.Nanoseconds())/float64(b.N), "bubble-exposed-ns/op")
+				b.ReportMetric(float64(filled.Nanoseconds())/float64(b.N), "bubble-filled-ns/op")
+			})
+		}
+	}
+}
+
+// TestAllocsTrainPipelineStepWarm: a warm pipeline step — microbatch shard,
+// staged forwards, chunked δW accumulation, bubble filling, SGD update —
+// performs zero allocations end to end.
+func TestAllocsTrainPipelineStepWarm(t *testing.T) {
+	x, labels := data.Vectors(3, 32, 64, 4)
+	build := func() *train.Network { return train.MLPNet(11, 64, 96, 4, 4) }
+	pipe, err := train.NewPipeline(build(), &nn.SGD{LR: 0.01}, train.PipelineConfig{
+		Stages: 3, MicroBatches: 4, Schedule: train.Pipe1F1B, Build: build,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pipe.Close)
+	run := func() {
+		if _, _, err := pipe.Step(x, labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm retained activations, workspaces and shard views
+	run()
+	if n := testing.AllocsPerRun(20, run); n != 0 {
+		t.Fatalf("warm pipeline step allocates %v times per run, want 0", n)
+	}
+}
+
 var sinkDuration time.Duration
 
 func BenchmarkPSSyncTime(b *testing.B) {

@@ -171,6 +171,34 @@ func trainDataParallelBench(kind string, replicas int) func(b *testing.B) {
 	}
 }
 
+// trainPipelineBench measures one full microbatch pipeline-parallel training
+// step (the BenchmarkTrainPipeline hot loop): sharded microbatch forwards,
+// staged δO chain, out-of-order δW bubble filling, optimizer update. Same MLP
+// and data seeds as the data-parallel rows.
+func trainPipelineBench(sched train.PipeSchedule, fill bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		build := func() *train.Network { return train.MLPNet(11, 64, 96, 4, 4) }
+		x, labels := data.Vectors(3, 32, 64, 4)
+		pipe, err := train.NewPipeline(build(), &nn.SGD{LR: 0.01}, train.PipelineConfig{
+			Stages: 3, MicroBatches: 4, Schedule: sched, Build: build, NoDWFill: !fill,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(pipe.Close)
+		if _, _, err := pipe.Step(x, labels); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := pipe.Step(x, labels); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // benchList mirrors the root bench_test.go micro-benchmarks of the three hot
 // paths (event engine, iteration probe, k search) plus their warm-reuse
 // variants introduced by the allocation-free rework.
@@ -308,6 +336,10 @@ func benchList() []namedBench {
 		{"TrainDataParallelMLP4", trainDataParallelBench("mlp", 4)},
 		{"TrainDataParallelConv2", trainDataParallelBench("conv", 2)},
 		{"TrainDataParallelNLP2", trainDataParallelBench("nlp", 2)},
+		{"TrainPipelineGPipeFill", trainPipelineBench(train.PipeGPipe, true)},
+		{"TrainPipelineGPipeNoFill", trainPipelineBench(train.PipeGPipe, false)},
+		{"TrainPipeline1F1BFill", trainPipelineBench(train.Pipe1F1B, true)},
+		{"TrainPipeline1F1BNoFill", trainPipelineBench(train.Pipe1F1B, false)},
 		{"PlanServiceWarmHit", func(b *testing.B) {
 			svc := plansvc.New(plansvc.Options{
 				Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),

@@ -11,11 +11,21 @@
 // non-overlapped remainder. -verify then compares against the serial
 // reference reduce bit for bit.
 //
+// With -stages S > 1 the run is pipeline-parallel: the network is split into
+// S contiguous stages, each step's batch into -microbatches microbatches, and
+// the stages execute concurrently under a GPipe trapezoid or 1F1B schedule.
+// Each stage defers its δW work and runs it out of order inside pipeline
+// bubbles (disable with -no-dw-fill); the per-step report shows the exposed
+// vs δW-filled bubble time, and the measured occupancy is cross-checked
+// against the pipepar discrete-event simulator's prediction. -verify compares
+// losses and weights bit for bit against the serial full-batch reference.
+//
 // Usage:
 //
 //	oootrain -arch cnn -schedule fastforward -steps 20 -opt momentum -verify
 //	oootrain -arch token -schedule reverse-k -k 4 -opt adam
 //	oootrain -arch mlp -replicas 4 -sync layer-priority -verify
+//	oootrain -arch mlp -stages 3 -microbatches 6 -pipe-sched 1f1b -verify
 package main
 
 import (
@@ -45,13 +55,33 @@ func main() {
 		replicas = flag.Int("replicas", 1, "data-parallel replicas (> 1 enables overlapped gradient reduction)")
 		syncName = flag.String("sync", "layer-priority", "bucket drain order with -replicas: completion|layer-priority")
 		buckets  = flag.Int64("buckets", 0, "gradient bucket bytes (0 = default, < 0 = one bucket per layer)")
+		stages   = flag.Int("stages", 1, "pipeline stages (> 1 enables microbatch pipeline parallelism)")
+		micro    = flag.Int("microbatches", 0, "microbatches per pipeline step (0 = stages)")
+		pSched   = flag.String("pipe-sched", "gpipe", "pipeline discipline with -stages: gpipe|1f1b")
+		noFill   = flag.Bool("no-dw-fill", false, "disable out-of-order δW bubble filling in the pipeline")
 	)
 	flag.Parse()
 
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
 	build, x, labels, L := buildArch(*arch, *seed)
+	psched, pmicro, err := validateConfig(runConfig{
+		arch: *arch, schedule: *schedule, k: *k, steps: *steps,
+		replicas: *replicas, stages: *stages, microbatches: *micro,
+		pipeSched: *pSched, noDWFill: *noFill,
+	}, set, len(labels), L)
+	if err != nil {
+		fatal("%v", err)
+	}
 	sched := buildSchedule(*schedule, L, *k)
 	if err := sched.Validate(L); err != nil {
 		fatal("illegal schedule: %v", err)
+	}
+
+	if *stages > 1 {
+		runPipeline(build, x, labels, *optName, *steps, *stages, pmicro, psched, *noFill, *verify)
+		return
 	}
 
 	if *replicas > 1 {

@@ -19,6 +19,7 @@ type Embedding struct {
 	dim  int
 	ids  []int
 	inSh []int
+	out  *tensor.Tensor // retained ForwardWS output buffer
 	gin  *tensor.Tensor // retained InputGradWS output buffer
 }
 
@@ -77,6 +78,7 @@ type LayerNorm struct {
 	xhat        *tensor.Tensor
 	invStd      []float64
 	rows, width int
+	out         *tensor.Tensor // retained ForwardWS output buffer
 	gin         *tensor.Tensor // retained InputGradWS output buffer
 }
 
@@ -165,6 +167,7 @@ type MeanPool1D struct {
 	name  string
 	group int
 	rows  int
+	out   *tensor.Tensor // retained ForwardWS output buffer
 	gin   *tensor.Tensor // retained InputGradWS output buffer
 }
 

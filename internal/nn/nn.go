@@ -46,6 +46,7 @@ type Dense struct {
 	name string
 	W, B *Param
 	x    *tensor.Tensor
+	out  *tensor.Tensor // retained ForwardWS output buffer
 	gin  *tensor.Tensor // retained InputGradWS output buffer
 }
 
@@ -88,6 +89,7 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 type ReLU struct {
 	name string
 	mask []bool
+	out  *tensor.Tensor // retained ForwardWS output buffer
 	gin  *tensor.Tensor // retained InputGradWS output buffer
 }
 
@@ -188,6 +190,7 @@ type MaxPool2 struct {
 	name    string
 	arg     []int
 	inShape []int
+	out     *tensor.Tensor // retained ForwardWS output buffer
 	gin     *tensor.Tensor // retained InputGradWS output buffer
 }
 
@@ -214,6 +217,7 @@ func (l *MaxPool2) Params() []*Param          { return nil }
 type Flatten struct {
 	name    string
 	inShape []int
+	fview   *tensor.Tensor // retained view header for ForwardWS
 	gview   *tensor.Tensor // retained view header for InputGradWS
 }
 

@@ -1,0 +1,311 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"oooback/internal/tensor"
+)
+
+// This file holds the two optional interfaces the microbatch pipeline engine
+// (internal/train.Pipeline) builds on, plus the chunked loss head.
+//
+// WorkspaceForward is the forward-pass analogue of WorkspaceBackward: same
+// bits as Forward, but all outputs and caches live in layer-retained buffers
+// (or caller workspace scratch), so a warm pipeline step performs zero heap
+// allocations even though it runs M forward passes per stage per step.
+//
+// ChunkBackward is the δW half of microbatch accumulation. A pipeline stage
+// calls WeightGradChunk once per microbatch, in ascending microbatch order,
+// after ZeroGrads; the layer continues the parameter-gradient fold in place
+// (tensor.TMatMulAcc / SumRowsAcc, or the already-in-place scatter/reduce
+// folds), so the accumulated gradient reproduces the serial full-batch
+// fold chain bit for bit. SealWeightGrad runs once at the end of the step:
+// the full-batch reference for GEMM-based layers computes Grad = 0 + Σ
+// (accumulate into zeroed scratch, then AddTo), while the chunked fold
+// computes Σ directly, and 0 + x ≠ x in exactly one case — x = −0. With the
+// current kernels that case cannot arise (every fold continues from a +0
+// destination, and a round-to-nearest addition chain seeded at +0 never
+// yields −0), so Seal is a provable no-op; it stays as a cheap end-of-step
+// pass so the bitwise contract does not silently start depending on that
+// proof if a kernel's fold seeding ever changes.
+//
+// Layers that cannot split a batch into row chunks do not implement
+// ChunkBackward, and the pipeline constructor rejects networks containing
+// them: Dropout draws its mask from a sequential per-layer RNG (microbatch
+// forwards would consume the stream in a different order than the full-batch
+// forward), and SelfAttention treats its whole input as one sequence, so
+// row-chunking it changes the math, not just the schedule.
+
+// WorkspaceForward is the optional pooled forward interface.
+type WorkspaceForward interface {
+	// ForwardWS is Forward into layer-retained buffers, bit-identical to
+	// Forward. The returned tensor is valid until the layer's next forward.
+	ForwardWS(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor
+}
+
+// ChunkBackward is the optional microbatch δW interface.
+type ChunkBackward interface {
+	// WeightGradChunk accumulates this chunk's δW into the parameter
+	// gradients, continuing the full-batch fold in place. Chunks must arrive
+	// in ascending row order after a ZeroGrads.
+	WeightGradChunk(gradOut *tensor.Tensor, ws *tensor.Workspace)
+	// SealWeightGrad finishes the step, making the accumulated gradient
+	// bitwise equal to the plain full-batch WeightGrad result.
+	SealWeightGrad()
+}
+
+// sealZeroSigns rewrites −0 elements to +0. The explicit constant store (not
+// an arithmetic identity like 0+v, which a compiler may fold away) keeps the
+// normalization guaranteed.
+func sealZeroSigns(t *tensor.Tensor) {
+	for i, v := range t.Data {
+		if v == 0 {
+			t.Data[i] = 0
+		}
+	}
+}
+
+// ---- Dense ----
+
+func (d *Dense) ForwardWS(x *tensor.Tensor, _ *tensor.Workspace) *tensor.Tensor {
+	d.x = x
+	d.out = tensor.Ensure(d.out, x.Shape[0], d.W.Value.Shape[1])
+	out := tensor.MatMulInto(d.out, x, d.W.Value)
+	cols := out.Shape[1]
+	for r := 0; r < out.Shape[0]; r++ {
+		for c := 0; c < cols; c++ {
+			out.Data[r*cols+c] += d.B.Value.Data[c]
+		}
+	}
+	return out
+}
+
+func (d *Dense) WeightGradChunk(gradOut *tensor.Tensor, _ *tensor.Workspace) {
+	tensor.TMatMulAcc(d.W.Grad, d.x, gradOut)
+	tensor.SumRowsAcc(d.B.Grad, gradOut)
+}
+
+func (d *Dense) SealWeightGrad() {
+	sealZeroSigns(d.W.Grad)
+	sealZeroSigns(d.B.Grad)
+}
+
+// ---- ReLU ----
+
+func (r *ReLU) ForwardWS(x *tensor.Tensor, _ *tensor.Workspace) *tensor.Tensor {
+	r.out = tensor.Ensure(r.out, x.Shape...)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			r.mask[i] = true
+			r.out.Data[i] = v
+		} else {
+			r.mask[i] = false
+			r.out.Data[i] = 0
+		}
+	}
+	return r.out
+}
+
+func (r *ReLU) WeightGradChunk(*tensor.Tensor, *tensor.Workspace) {}
+func (r *ReLU) SealWeightGrad()                                   {}
+
+// ---- Conv2D ----
+
+// Conv2D.Forward is already fully pooled.
+func (l *Conv2D) ForwardWS(x *tensor.Tensor, _ *tensor.Workspace) *tensor.Tensor {
+	return l.Forward(x)
+}
+
+func (l *Conv2D) WeightGradChunk(gradOut *tensor.Tensor, ws *tensor.Workspace) {
+	n, f, oh, ow := gradOut.Shape[0], gradOut.Shape[1], gradOut.Shape[2], gradOut.Shape[3]
+	rows := tensor.RowsFromNCHWInto(ws.Get(n*oh*ow, f), gradOut)
+	// Continue the fold over this chunk's im2col rows (l.cols holds this
+	// lane's forward lowering) directly into the flat weight gradient.
+	tensor.TMatMulAcc(l.W.Grad, rows, l.cols)
+	ws.Put(rows)
+}
+
+func (l *Conv2D) SealWeightGrad() { sealZeroSigns(l.W.Grad) }
+
+// ---- MaxPool2 ----
+
+func (l *MaxPool2) ForwardWS(x *tensor.Tensor, _ *tensor.Workspace) *tensor.Tensor {
+	l.inShape = append(l.inShape[:0], x.Shape...)
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	l.out = tensor.Ensure(l.out, n, c, h/2, w/2)
+	if cap(l.arg) < l.out.Len() {
+		l.arg = make([]int, l.out.Len())
+	}
+	l.arg = l.arg[:l.out.Len()]
+	return tensor.MaxPool2Into(l.out, l.arg, x)
+}
+
+func (l *MaxPool2) WeightGradChunk(*tensor.Tensor, *tensor.Workspace) {}
+func (l *MaxPool2) SealWeightGrad()                                   {}
+
+// ---- Flatten ----
+
+func (l *Flatten) ForwardWS(x *tensor.Tensor, _ *tensor.Workspace) *tensor.Tensor {
+	l.inShape = append(l.inShape[:0], x.Shape...)
+	if l.fview == nil {
+		l.fview = &tensor.Tensor{Shape: make([]int, 0, 4)}
+	}
+	n := x.Shape[0]
+	l.fview.Shape = append(l.fview.Shape[:0], n, x.Len()/n)
+	l.fview.Data = x.Data
+	return l.fview
+}
+
+func (l *Flatten) WeightGradChunk(*tensor.Tensor, *tensor.Workspace) {}
+func (l *Flatten) SealWeightGrad()                                   {}
+
+// ---- Embedding ----
+
+func (e *Embedding) ForwardWS(x *tensor.Tensor, _ *tensor.Workspace) *tensor.Tensor {
+	e.inSh = append(e.inSh[:0], x.Shape...)
+	rows := x.Len()
+	if cap(e.ids) < rows {
+		e.ids = make([]int, rows)
+	}
+	e.ids = e.ids[:rows]
+	e.out = tensor.Ensure(e.out, rows, e.dim)
+	vocab := e.W.Value.Shape[0]
+	for i, v := range x.Data {
+		id := int(v)
+		if id < 0 || id >= vocab {
+			panic(fmt.Sprintf("nn: token id %d out of vocab %d", id, vocab))
+		}
+		e.ids[i] = id
+		copy(e.out.Data[i*e.dim:(i+1)*e.dim], e.W.Value.Data[id*e.dim:(id+1)*e.dim])
+	}
+	return e.out
+}
+
+// The full-batch scatter-add already folds rows ascending directly into
+// W.Grad, so per-chunk delegation continues the identical chain and no seal
+// step is needed.
+func (e *Embedding) WeightGradChunk(gradOut *tensor.Tensor, _ *tensor.Workspace) {
+	e.WeightGrad(gradOut)
+}
+
+func (e *Embedding) SealWeightGrad() {}
+
+// ---- LayerNorm ----
+
+func (l *LayerNorm) ForwardWS(x *tensor.Tensor, _ *tensor.Workspace) *tensor.Tensor {
+	if x.Dims() != 2 {
+		panic("nn: LayerNorm expects [rows, dim]")
+	}
+	l.rows, l.width = x.Shape[0], x.Shape[1]
+	l.xhat = tensor.Ensure(l.xhat, l.rows, l.width)
+	if cap(l.invStd) < l.rows {
+		l.invStd = make([]float64, l.rows)
+	}
+	l.invStd = l.invStd[:l.rows]
+	l.out = tensor.Ensure(l.out, l.rows, l.width)
+	out := l.out
+	for r := 0; r < l.rows; r++ {
+		row := x.Data[r*l.width : (r+1)*l.width]
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(l.width)
+		var varSum float64
+		for _, v := range row {
+			d := v - mean
+			varSum += d * d
+		}
+		inv := 1 / math.Sqrt(varSum/float64(l.width)+l.eps)
+		l.invStd[r] = inv
+		for c := 0; c < l.width; c++ {
+			xh := (row[c] - mean) * inv
+			l.xhat.Data[r*l.width+c] = xh
+			out.Data[r*l.width+c] = xh*l.Gain.Value.Data[c] + l.Bias.Value.Data[c]
+		}
+	}
+	return out
+}
+
+// The full-batch reduction already folds rows ascending directly into the
+// gain/bias gradients; per-chunk delegation continues the identical chain.
+func (l *LayerNorm) WeightGradChunk(gradOut *tensor.Tensor, _ *tensor.Workspace) {
+	l.WeightGrad(gradOut)
+}
+
+func (l *LayerNorm) SealWeightGrad() {}
+
+// ---- MeanPool1D ----
+
+func (p *MeanPool1D) ForwardWS(x *tensor.Tensor, _ *tensor.Workspace) *tensor.Tensor {
+	rows, dim := x.Shape[0], x.Shape[1]
+	if rows%p.group != 0 {
+		panic(fmt.Sprintf("nn: %d rows not divisible by pool group %d", rows, p.group))
+	}
+	p.rows = rows
+	p.out = tensor.Ensure(p.out, rows/p.group, dim)
+	p.out.Zero() // Ensure contents are unspecified; the fold below is +=
+	for r := 0; r < rows; r++ {
+		o := r / p.group
+		for c := 0; c < dim; c++ {
+			p.out.Data[o*dim+c] += x.Data[r*dim+c] / float64(p.group)
+		}
+	}
+	return p.out
+}
+
+func (p *MeanPool1D) WeightGradChunk(*tensor.Tensor, *tensor.Workspace) {}
+func (p *MeanPool1D) SealWeightGrad()                                   {}
+
+// ---- chunked loss head ----
+
+// SoftmaxCrossEntropyChunk is SoftmaxCrossEntropyInto restricted to one
+// contiguous chunk of a batch of `total` examples. The per-row gradient is
+// scaled by 1/total (row-local, so chunking cannot change its bits), and the
+// raw loss sum continues from lossAcc and is returned undivided: calling the
+// chunks in ascending row order and dividing the final sum by total once
+// reproduces the full-batch loss fold chain exactly. lossAcc must be 0 for
+// the first chunk.
+func SoftmaxCrossEntropyChunk(grad, logits *tensor.Tensor, labels []int, total int, lossAcc float64) float64 {
+	if logits.Dims() != 2 || logits.Shape[0] != len(labels) {
+		panic(fmt.Sprintf("nn: logits %v vs %d labels", logits.Shape, len(labels)))
+	}
+	n, c := logits.Shape[0], logits.Shape[1]
+	if grad.Dims() != 2 || grad.Shape[0] != n || grad.Shape[1] != c {
+		panic(fmt.Sprintf("nn: loss grad buffer %v, want %v", grad.Shape, logits.Shape))
+	}
+	if total < n {
+		panic(fmt.Sprintf("nn: chunk of %d rows in batch of %d", n, total))
+	}
+	loss := lossAcc
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - maxV)
+		}
+		logZ := math.Log(sum) + maxV
+		y := labels[i]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, c))
+		}
+		loss += logZ - row[y]
+		for j := 0; j < c; j++ {
+			p := math.Exp(row[j]-maxV) / sum
+			grad.Data[i*c+j] = p / float64(total)
+		}
+		grad.Data[i*c+y] -= 1 / float64(total)
+	}
+	return loss
+}

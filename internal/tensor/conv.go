@@ -250,9 +250,27 @@ func MaxPool2(x *Tensor) (*Tensor, []int) {
 	if h%2 != 0 || w%2 != 0 {
 		panic(fmt.Sprintf("tensor: MaxPool2 needs even dims, got %dx%d", h, w))
 	}
-	oh, ow := h/2, w/2
-	out := New(n, c, oh, ow)
+	out := New(n, c, h/2, w/2)
 	arg := make([]int, out.Len())
+	return MaxPool2Into(out, arg, x), arg
+}
+
+// MaxPool2Into is MaxPool2 into a caller-owned dst [N,C,H/2,W/2] and argmax
+// map of dst.Len() entries, fully overwriting both. It lets warm training
+// steps pool without per-step allocation.
+func MaxPool2Into(dst *Tensor, arg []int, x *Tensor) *Tensor {
+	n, c, h, w := conv2dDims(x)
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("tensor: MaxPool2 needs even dims, got %dx%d", h, w))
+	}
+	oh, ow := h/2, w/2
+	out := dst
+	if out.Dims() != 4 || out.Shape[0] != n || out.Shape[1] != c || out.Shape[2] != oh || out.Shape[3] != ow {
+		panic(fmt.Sprintf("tensor: MaxPool2Into dst %v, want [%d %d %d %d]", out.Shape, n, c, oh, ow))
+	}
+	if len(arg) != out.Len() {
+		panic(fmt.Sprintf("tensor: MaxPool2Into argmax map has %d entries, want %d", len(arg), out.Len()))
+	}
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
 			for oy := 0; oy < oh; oy++ {
@@ -274,7 +292,7 @@ func MaxPool2(x *Tensor) (*Tensor, []int) {
 			}
 		}
 	}
-	return out, arg
+	return out
 }
 
 // MaxPool2Grad routes gradOut back through the argmax map onto a tensor with

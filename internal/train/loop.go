@@ -110,13 +110,23 @@ type FitConfig struct {
 	// this many model replicas whose gradients are bucket-reduced overlapped
 	// with backward (see DataParallel).
 	Replicas int
-	// BuildReplica constructs one additional replica network; required when
-	// Replicas > 1.
+	// BuildReplica constructs one additional replica (or pipeline lane)
+	// network; required when Replicas > 1 or Stages > 1.
 	BuildReplica func() *Network
 	// Sync picks the data-parallel reducer's bucket drain order.
 	Sync SyncSchedule
 	// BucketBytes is the data-parallel gradient bucket size (0 = default).
 	BucketBytes int64
+	// Stages trains pipeline-parallel when > 1: the network is split into
+	// contiguous stages and each batch into MicroBatches microbatches (see
+	// Pipeline). Mutually exclusive with Replicas.
+	Stages int
+	// MicroBatches per pipeline step (0 = Stages).
+	MicroBatches int
+	// PipeSched picks the pipeline discipline (GPipe or 1F1B).
+	PipeSched PipeSchedule
+	// NoDWFill disables the pipeline's out-of-order δW bubble filling.
+	NoDWFill bool
 }
 
 // Fit trains the network and returns the mean loss of each epoch — each
@@ -139,8 +149,28 @@ func Fit(n *Network, x *tensor.Tensor, labels []int, opt nn.Optimizer, cfg FitCo
 	if cfg.LR != nil && cfg.SetLR == nil {
 		return nil, fmt.Errorf("train: LR schedule given without SetLR")
 	}
+	if cfg.Replicas > 1 && cfg.Stages > 1 {
+		return nil, fmt.Errorf("train: Replicas and Stages are mutually exclusive")
+	}
 	stepFn := func(b Batch) (float64, error) {
 		return cfg.Exec.Step(n, b.X, b.Labels, sched, opt)
+	}
+	if cfg.Stages > 1 {
+		pipe, err := NewPipeline(n, opt, PipelineConfig{
+			Stages:       cfg.Stages,
+			MicroBatches: cfg.MicroBatches,
+			Schedule:     cfg.PipeSched,
+			Build:        cfg.BuildReplica,
+			NoDWFill:     cfg.NoDWFill,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer pipe.Close()
+		stepFn = func(b Batch) (float64, error) {
+			loss, _, err := pipe.Step(b.X, b.Labels)
+			return loss, err
+		}
 	}
 	if cfg.Replicas > 1 {
 		dp, err := NewDataParallel(n, opt, DataParallelConfig{
