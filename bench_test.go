@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"oooback/internal/calib"
 	"oooback/internal/core"
 	"oooback/internal/data"
 	"oooback/internal/datapar"
@@ -548,5 +549,144 @@ func TestAllocsSimulateIterationOverlappedWarm(t *testing.T) {
 	s.SimulateIterationOverlapped(c, order, prio, true, overlapped)
 	if n := testing.AllocsPerRun(50, func() { s.SimulateIterationOverlapped(c, order, prio, true, overlapped) }); n != 0 {
 		t.Fatalf("warm SimulateIterationOverlapped allocates %v times per run, want 0", n)
+	}
+}
+
+// calibBenchProfile trains the benchmark MLP for a few profiled serial steps
+// and returns the resulting profile (the Fit/SimulateNet benchmark input).
+func calibBenchProfile(tb testing.TB) *calib.Profile {
+	net := train.MLPNet(11, 64, 96, 4, 4)
+	L := len(net.Layers)
+	x, labels := data.Vectors(3, 32, 64, 4)
+	exec := train.NewExecutor(train.ExecSerial, 0)
+	defer exec.Close()
+	p := calib.NewProfiler("mlp", "serial", L, 2)
+	exec.SetProfiler(p, net)
+	sched := graph.Conventional(L)
+	opt := &nn.SGD{LR: 0.05}
+	for i := 0; i < 8; i++ {
+		if _, err := exec.Step(net, x, labels, sched, opt); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	exec.SetProfiler(nil, nil)
+	prof := &calib.Profile{Version: calib.ProfileVersion, Nets: []calib.NetProfile{p.Snapshot()}}
+	if err := prof.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return prof
+}
+
+// BenchmarkCalibObserve measures the profiler's warm recording path — the
+// per-op overhead a profiled training step pays.
+func BenchmarkCalibObserve(b *testing.B) {
+	p := calib.NewProfiler("bench", "serial", 8, 0)
+	p.Observe(calib.OpDW, 3, "dense", 4096, time.Microsecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Observe(calib.OpDW, 3, "dense", 4096, time.Microsecond)
+	}
+}
+
+// BenchmarkCalibProfiledStep measures a full profiled serial training step —
+// the end-to-end cost of running with the profiler attached.
+func BenchmarkCalibProfiledStep(b *testing.B) {
+	net := train.MLPNet(11, 64, 96, 4, 4)
+	L := len(net.Layers)
+	x, labels := data.Vectors(3, 32, 64, 4)
+	exec := train.NewExecutor(train.ExecSerial, 0)
+	b.Cleanup(exec.Close)
+	p := calib.NewProfiler("mlp", "serial", L, 1)
+	exec.SetProfiler(p, net)
+	sched := graph.Conventional(L)
+	opt := &nn.SGD{LR: 0.05}
+	if _, err := exec.Step(net, x, labels, sched, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Step(net, x, labels, sched, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCalibFit measures fitting a cost table from a measured profile.
+func BenchmarkCalibFit(b *testing.B) {
+	prof := calibBenchProfile(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := calib.Fit(prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCalibSimulateNet measures the what-if/validation hot path: one
+// table-driven re-simulation of a profiled net.
+func BenchmarkCalibSimulateNet(b *testing.B) {
+	prof := calibBenchProfile(b)
+	table, err := calib.Fit(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := calib.SimulateNet(&prof.Nets[0], table); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestAllocsCalibObserveWarm pins the profiler's warm recording path to zero
+// allocations — the precondition for attaching it to the real engines
+// without perturbing what it measures.
+func TestAllocsCalibObserveWarm(t *testing.T) {
+	p := calib.NewProfiler("bench", "serial", 8, 0)
+	run := func() { p.Observe(calib.OpFwd, 2, "dense", 1024, time.Microsecond) }
+	run() // freeze metadata
+	if n := testing.AllocsPerRun(100, run); n != 0 {
+		t.Fatalf("warm calib Observe allocates %v times per run, want 0", n)
+	}
+	p.EndStep(time.Millisecond)
+	if n := testing.AllocsPerRun(100, func() { p.EndStep(time.Millisecond) }); n != 0 {
+		t.Fatalf("warm calib EndStep allocates %v times per run, want 0", n)
+	}
+}
+
+// TestAllocsCalibProfiledStepWarm pins the profiler's cost on the full
+// training step to zero: a warm profiled serial step performs exactly the
+// allocations of the unprofiled one (the forward/loss path's, which the
+// profiler merely observes — its own recording is allocation-free, see
+// TestAllocsCalibObserveWarm).
+func TestAllocsCalibProfiledStepWarm(t *testing.T) {
+	x, labels := data.Vectors(3, 32, 64, 4)
+	measure := func(profiled bool) float64 {
+		net := train.MLPNet(11, 64, 96, 4, 4)
+		L := len(net.Layers)
+		exec := train.NewExecutor(train.ExecSerial, 0)
+		defer exec.Close()
+		if profiled {
+			p := calib.NewProfiler("mlp", "serial", L, 1)
+			exec.SetProfiler(p, net)
+		}
+		sched := graph.Conventional(L)
+		opt := &nn.SGD{LR: 0.05}
+		run := func() {
+			if _, err := exec.Step(net, x, labels, sched, opt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run()
+		run() // past warmup: profiler slots and step buffers retained
+		return testing.AllocsPerRun(20, run)
+	}
+	plain, prof := measure(false), measure(true)
+	if prof != plain {
+		t.Fatalf("warm profiled step allocates %v times per run vs %v unprofiled, want equal", prof, plain)
 	}
 }

@@ -11,7 +11,9 @@ import (
 	"path/filepath"
 	"runtime"
 	"testing"
+	"time"
 
+	"oooback/internal/calib"
 	"oooback/internal/core"
 	"oooback/internal/data"
 	"oooback/internal/datapar"
@@ -340,6 +342,45 @@ func benchList() []namedBench {
 		{"TrainPipelineGPipeNoFill", trainPipelineBench(train.PipeGPipe, false)},
 		{"TrainPipeline1F1BFill", trainPipelineBench(train.Pipe1F1B, true)},
 		{"TrainPipeline1F1BNoFill", trainPipelineBench(train.Pipe1F1B, false)},
+		{"CalibObserve", func(b *testing.B) {
+			p := calib.NewProfiler("bench", "serial", 8, 0)
+			p.Observe(calib.OpDW, 3, "dense", 4096, time.Microsecond)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Observe(calib.OpDW, 3, "dense", 4096, time.Microsecond)
+			}
+		}},
+		{"CalibFit", func(b *testing.B) {
+			prof, err := calibProfile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := calib.Fit(prof); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"CalibSimulateNet", func(b *testing.B) {
+			prof, err := calibProfile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			table, err := calib.Fit(prof)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := calib.SimulateNet(&prof.Nets[0], table); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"PlanServiceWarmHit", func(b *testing.B) {
 			svc := plansvc.New(plansvc.Options{
 				Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),

@@ -18,6 +18,10 @@
 //	                               engines on real MLP/conv/NLP networks
 //	                               (walltime, peak grads, bit-identity); with
 //	                               -o DIR, write a Chrome trace per combination
+//	oooexp calib                   profile the real networks, fit a cost table,
+//	                               validate simulated-vs-measured iteration
+//	                               time, and print a what-if estimation table;
+//	                               with -o DIR, write DIR/profile.json
 package main
 
 import (
@@ -66,6 +70,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "oooexp: %v\n", err)
 			os.Exit(1)
 		}
+	case "calib":
+		if err := runCalib(*outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "oooexp: %v\n", err)
+			os.Exit(1)
+		}
 	case "all":
 		runIDs(experiments.IDs(), workers, *outDir)
 	default:
@@ -110,5 +119,5 @@ func runIDs(ids []string, workers int, outDir string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: oooexp [-o dir] [-parallel n] list | all | bench | exec | <experiment-id>...")
+	fmt.Fprintln(os.Stderr, "usage: oooexp [-o dir] [-parallel n] list | all | bench | exec | calib | <experiment-id>...")
 }

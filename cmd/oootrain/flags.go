@@ -16,6 +16,7 @@ type runConfig struct {
 	stages       int
 	microbatches int
 	pipeSched    string
+	partition    string
 	noDWFill     bool
 }
 
@@ -49,7 +50,7 @@ func validateConfig(cfg runConfig, set map[string]bool, batchN, L int) (train.Pi
 		}
 	}
 	if cfg.stages <= 1 {
-		for _, f := range []string{"microbatches", "pipe-sched", "no-dw-fill"} {
+		for _, f := range []string{"microbatches", "pipe-sched", "no-dw-fill", "partition"} {
 			if set[f] {
 				return 0, 0, fmt.Errorf("-%s requires -stages > 1", f)
 			}
@@ -58,6 +59,9 @@ func validateConfig(cfg runConfig, set map[string]bool, batchN, L int) (train.Pi
 	}
 	if cfg.stages > L {
 		return 0, 0, fmt.Errorf("-stages %d exceeds the %d layers of -arch %s", cfg.stages, L, cfg.arch)
+	}
+	if cfg.partition != "" && cfg.partition != "even" && cfg.partition != "balanced" {
+		return 0, 0, fmt.Errorf("-partition %q: want even or balanced", cfg.partition)
 	}
 	micro := cfg.microbatches
 	if micro == 0 {

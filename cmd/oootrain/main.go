@@ -58,6 +58,7 @@ func main() {
 		stages   = flag.Int("stages", 1, "pipeline stages (> 1 enables microbatch pipeline parallelism)")
 		micro    = flag.Int("microbatches", 0, "microbatches per pipeline step (0 = stages)")
 		pSched   = flag.String("pipe-sched", "gpipe", "pipeline discipline with -stages: gpipe|1f1b")
+		part     = flag.String("partition", "even", "stage split with -stages: even|balanced (balanced profiles per-layer costs first)")
 		noFill   = flag.Bool("no-dw-fill", false, "disable out-of-order δW bubble filling in the pipeline")
 	)
 	flag.Parse()
@@ -69,7 +70,7 @@ func main() {
 	psched, pmicro, err := validateConfig(runConfig{
 		arch: *arch, schedule: *schedule, k: *k, steps: *steps,
 		replicas: *replicas, stages: *stages, microbatches: *micro,
-		pipeSched: *pSched, noDWFill: *noFill,
+		pipeSched: *pSched, partition: *part, noDWFill: *noFill,
 	}, set, len(labels), L)
 	if err != nil {
 		fatal("%v", err)
@@ -80,7 +81,7 @@ func main() {
 	}
 
 	if *stages > 1 {
-		runPipeline(build, x, labels, *optName, *steps, *stages, pmicro, psched, *noFill, *verify)
+		runPipeline(build, x, labels, *optName, *steps, *stages, pmicro, psched, *part, *noFill, *verify)
 		return
 	}
 

@@ -32,6 +32,8 @@ func TestValidateConfigAccepts(t *testing.T) {
 			[]string{"stages", "microbatches"}, 8, train.PipeGPipe},
 		{"stages 1f1b no fill", func(c *runConfig) { c.stages = 3; c.pipeSched = "1f1b"; c.noDWFill = true },
 			[]string{"stages", "pipe-sched", "no-dw-fill"}, 3, train.Pipe1F1B},
+		{"stages balanced partition", func(c *runConfig) { c.stages = 3; c.partition = "balanced" },
+			[]string{"stages", "partition"}, 3, train.PipeGPipe},
 	}
 	for _, tc := range cases {
 		cfg := base()
@@ -80,6 +82,10 @@ func TestValidateConfigRejects(t *testing.T) {
 			[]string{"stages", "microbatches"}, "exceeds the 32-example batch"},
 		{"bad pipe-sched", func(c *runConfig) { c.stages = 2; c.pipeSched = "zigzag" },
 			[]string{"stages", "pipe-sched"}, "-pipe-sched"},
+		{"partition without stages", func(c *runConfig) { c.partition = "balanced" },
+			[]string{"partition"}, "-partition requires"},
+		{"bad partition", func(c *runConfig) { c.stages = 2; c.partition = "zigzag" },
+			[]string{"stages", "partition"}, "-partition"},
 	}
 	for _, tc := range cases {
 		cfg := base()

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"oooback/internal/calib"
+	"oooback/internal/graph"
+	"oooback/internal/tensor"
+	"oooback/internal/train"
+)
+
+const (
+	partitionSteps  = 8
+	partitionWarmup = 2
+)
+
+// balancedPartition computes a measured-cost-balanced pipeline partition: a
+// throwaway copy of the network is trained for a few serial steps with the
+// calib profiler attached, each layer's fwd+δO+δW medians are summed into a
+// per-layer cost, and graph.PartitionBalanced minimizes the maximum per-stage
+// cost sum. The pre-pass trains a fresh build() network, so the caller's
+// networks are untouched; moving stage boundaries never changes the gradient
+// bits (the pipeline's bitwise contract holds under any partition).
+func balancedPartition(build func() *train.Network, x *tensor.Tensor, labels []int,
+	optName string, stages int) (graph.Partition, error) {
+	net := build()
+	L := len(net.Layers)
+	eng := train.NewExecutor(train.ExecSerial, 0)
+	p := calib.NewProfiler("partition-prepass", "serial", L, partitionWarmup)
+	eng.SetProfiler(p, net)
+	opt := mkOpt(optName)
+	sched := graph.Conventional(L)
+	for s := 0; s < partitionSteps; s++ {
+		if _, err := eng.Step(net, x, labels, sched, opt); err != nil {
+			eng.SetProfiler(nil, nil)
+			return graph.Partition{}, err
+		}
+	}
+	eng.SetProfiler(nil, nil)
+	return graph.PartitionBalanced(layerCosts(p.Snapshot()), stages)
+}
+
+// layerCosts folds a serial profile's medians into one cost per 0-based
+// layer: fwd + δO + δW. Step-scoped ops (loss, update, zeroGrad) don't move
+// with a stage boundary, so they don't influence the split.
+func layerCosts(np calib.NetProfile) []float64 {
+	costs := make([]float64, np.Layers)
+	for _, op := range np.Ops {
+		if op.Layer < 1 {
+			continue
+		}
+		switch op.Kind {
+		case "fwd", "dO", "dW", "dWFill":
+			costs[op.Layer-1] += float64(op.MedianNs)
+		}
+	}
+	return costs
+}
+
+// interior returns the partition's interior boundaries — the
+// train.PipelineConfig.Boundaries form.
+func interior(p graph.Partition) []int {
+	return p.Bounds[1 : len(p.Bounds)-1]
+}

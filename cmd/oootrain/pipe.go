@@ -15,10 +15,20 @@ import (
 // verifying bit-for-bit against the serial full-batch reference.
 func runPipeline(build func() *train.Network, x *tensor.Tensor, labels []int,
 	optName string, steps, stages, micro int, psched train.PipeSchedule,
-	noFill, verify bool) {
+	partition string, noFill, verify bool) {
+	var bounds []int
+	if partition == "balanced" {
+		bp, err := balancedPartition(build, x, labels, optName, stages)
+		if err != nil {
+			fatal("balanced partition: %v", err)
+		}
+		bounds = interior(bp)
+		fmt.Printf("balanced partition from measured layer costs: bounds %v\n", bp.Bounds)
+	}
 	net := build()
 	pipe, err := train.NewPipeline(net, mkOpt(optName), train.PipelineConfig{
-		Stages: stages, MicroBatches: micro, Schedule: psched, Build: build, NoDWFill: noFill,
+		Stages: stages, MicroBatches: micro, Schedule: psched, Build: build,
+		Boundaries: bounds, NoDWFill: noFill,
 	})
 	if err != nil {
 		fatal("pipeline: %v", err)
@@ -26,8 +36,8 @@ func runPipeline(build func() *train.Network, x *tensor.Tensor, labels []int,
 	defer pipe.Close()
 
 	part := pipe.Partition()
-	fmt.Printf("pipeline: stages=%d microbatches=%d schedule=%v dw-fill=%v\n",
-		stages, pipe.MicroBatches(), psched, !noFill)
+	fmt.Printf("pipeline: stages=%d microbatches=%d schedule=%v partition=%s dw-fill=%v\n",
+		stages, pipe.MicroBatches(), psched, partitionName(partition), !noFill)
 	for s := 0; s < part.Stages(); s++ {
 		lo, hi := part.Range(s)
 		names := make([]string, 0, hi-lo)
@@ -84,6 +94,13 @@ func runPipeline(build func() *train.Network, x *tensor.Tensor, labels []int,
 			os.Exit(1)
 		}
 	}
+}
+
+func partitionName(p string) string {
+	if p == "" {
+		return "even"
+	}
+	return p
 }
 
 // copyStats deep-copies a step's stats: PerStage aliases engine-retained

@@ -1,0 +1,55 @@
+package calib
+
+import (
+	"os"
+	"testing"
+
+	"oooback/internal/models"
+)
+
+// TestCalibAccuracy is the CI calibration gate: on the committed real-machine
+// profile (testdata/profile_real.json, regenerated with
+// `go run ./cmd/oooexp -o internal/calib/testdata calib` and renamed), the
+// fitted cost table must land every net within DefaultMAPEThreshold of the
+// measured iteration time, and must beat the hand-written default table.
+func TestCalibAccuracy(t *testing.T) {
+	raw, err := os.ReadFile("testdata/profile_real.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ReadProfileJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fitted, err := Fit(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Validate(prof, fitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range acc.PerNet {
+		t.Logf("net %-6s measured %8d ns, fitted sim %8d ns, APE %5.1f%%",
+			n.Net, n.MeasuredNs, n.SimulatedNs, 100*n.APE)
+		if n.APE > DefaultMAPEThreshold {
+			t.Errorf("net %q: fitted APE %.1f%% exceeds the %.0f%% threshold",
+				n.Net, 100*n.APE, 100*DefaultMAPEThreshold)
+		}
+	}
+	if acc.MAPE > DefaultMAPEThreshold {
+		t.Errorf("fitted MAPE %.1f%% exceeds the %.0f%% threshold",
+			100*acc.MAPE, 100*DefaultMAPEThreshold)
+	}
+
+	def, err := Validate(prof, models.DefaultCostTable(models.V100Profile()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("MAPE: fitted %.1f%%, default %.1f%%", 100*acc.MAPE, 100*def.MAPE)
+	if acc.MAPE >= def.MAPE {
+		t.Errorf("fitted MAPE %.1f%% not better than the default table's %.1f%%",
+			100*acc.MAPE, 100*def.MAPE)
+	}
+}

@@ -1,0 +1,85 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"oooback/internal/models"
+)
+
+// Fit least-squares the per-op medians of a profile into a models.CostTable:
+// for every cost key ("family" and "family:layertype") it fits the linear law
+// duration ≈ FixedNs + NsPerWork·work over the (work, median) data points of
+// all nets. Degenerate sample sets degrade gracefully — a single distinct
+// work value fits a through-origin slope (or a constant when work is zero),
+// and negative coefficients (possible when the points are nearly colinear
+// with the work axis) are refit through the origin so a table never predicts
+// negative durations.
+func Fit(p *Profile) (*models.CostTable, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	points := make(map[string][][2]float64) // cost key → (work, medianNs)
+	add := func(key string, work, ns float64) {
+		points[key] = append(points[key], [2]float64{work, ns})
+	}
+	for i := range p.Nets {
+		for _, s := range p.Nets[i].Ops {
+			ns := float64(s.MedianNs)
+			key := s.CostKey()
+			add(key, s.Work, ns)
+			if fam := models.OpFamily(key); fam != key {
+				add(fam, s.Work, ns)
+			}
+		}
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("calib: profile has no ops to fit")
+	}
+	t := &models.CostTable{Name: "fitted", Entries: make(map[string]models.CostEntry, len(points))}
+	keys := make([]string, 0, len(points))
+	for k := range points {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic fit order (numerically irrelevant, diff-stable)
+	for _, k := range keys {
+		fixed, slope := fitLinear(points[k])
+		t.Entries[k] = models.CostEntry{FixedNs: fixed, NsPerWork: slope, Samples: len(points[k])}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// fitLinear fits ns ≈ fixed + slope·work by ordinary least squares, with the
+// degenerate-data and negative-coefficient fallbacks described on Fit.
+func fitLinear(pts [][2]float64) (fixed, slope float64) {
+	n := float64(len(pts))
+	var sw, sn, sww, swn float64
+	minW, maxW := math.Inf(1), math.Inf(-1)
+	for _, pt := range pts {
+		w, ns := pt[0], pt[1]
+		sw += w
+		sn += ns
+		sww += w * w
+		swn += w * ns
+		minW = math.Min(minW, w)
+		maxW = math.Max(maxW, w)
+	}
+	if maxW > minW {
+		det := n*sww - sw*sw
+		slope = (n*swn - sw*sn) / det
+		fixed = (sn - slope*sw) / n
+		if slope >= 0 && fixed >= 0 {
+			return fixed, slope
+		}
+	}
+	// One distinct work value, or a negative coefficient: refit through the
+	// origin (slope = Σwn/Σww), or as a constant when all works are zero.
+	if sww > 0 {
+		return 0, swn / sww
+	}
+	return sn / n, 0
+}

@@ -1,0 +1,57 @@
+package calib
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseProfileJSON fuzzes the profile fixture entry point, mirroring
+// models.FuzzParseModelJSON. Invariants: ReadProfileJSON never panics; an
+// accepted profile passes Validate and survives a WriteJSON → ReadProfileJSON
+// round trip identically.
+func FuzzParseProfileJSON(f *testing.F) {
+	if seed, err := syntheticProfile().WriteJSON(); err != nil {
+		f.Fatal(err)
+	} else {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"version":1,"nets":[{"net":"a","engine":"serial","layers":1,
+		"warm_steps":1,"iter_median_ns":10,"iter_mad_ns":0,
+		"ops":[{"kind":"fwd","layer":1,"work":1,"samples":1,"median_ns":5,"mad_ns":0}]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"nets":[]}`))
+	f.Add([]byte(`{"version":1,"nets":[{"net":"a","engine":"serial","layers":1,
+		"warm_steps":1,"iter_median_ns":10,
+		"ops":[{"kind":"bogus","layer":1,"work":1,"samples":1,"median_ns":5}]}]}`))
+	f.Add([]byte(`{"version":1,"nets":[{"net":"a","engine":"serial","layers":1,
+		"warm_steps":1,"iter_median_ns":10,
+		"ops":[{"kind":"fwd","layer":9,"work":1,"samples":1,"median_ns":5}]}]}`))
+	f.Add([]byte(`{"version":1,"nets":[{"net":"a","ops":[{"work":1e999}]}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadProfileJSON(data)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("ReadProfileJSON returned nil profile with nil error")
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted profile fails Validate: %v", verr)
+		}
+		out, err := p.WriteJSON()
+		if err != nil {
+			t.Fatalf("accepted profile does not re-encode: %v", err)
+		}
+		p2, err := ReadProfileJSON(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip not identical:\n%#v\nvs\n%#v", p, p2)
+		}
+	})
+}

@@ -229,6 +229,13 @@ type planSpec struct {
 	Discipline     string `json:"discipline,omitempty"`
 	GroupSize      int    `json:"group_size,omitempty"`
 
+	// What-if perturbation, set only by the /v1/whatif planner on its scaled
+	// inner spec (zero for plain plan requests, so their fingerprints are
+	// unchanged). WhatIfScales records the layer-cost factors already applied
+	// to the model; BwScale multiplies every link bandwidth at materialization.
+	WhatIfScales map[string]float64 `json:"whatif_scales,omitempty"`
+	BwScale      float64            `json:"bw_scale,omitempty"`
+
 	// model is the resolved model (built from the zoo or decoded inline);
 	// excluded from the fingerprint (ModelName/ModelDigest stand for it).
 	model *models.Model
@@ -440,14 +447,23 @@ func (sp *planSpec) resolveModel() *models.Model {
 	return sp.model
 }
 
+// link resolves a link name, applying the spec's what-if bandwidth factor.
+func (sp *planSpec) link(name string) netsim.LinkSpec {
+	l := links[name]
+	if b := sp.BwScale; b != 0 && b != 1 {
+		l = scaleLink(l, b)
+	}
+	return l
+}
+
 // cluster materializes the datapar cluster of the spec.
 func (sp *planSpec) cluster() datapar.Cluster {
 	return datapar.Cluster{
 		Name:    "custom",
 		PerNode: sp.GPUsPerNode,
 		MaxGPUs: sp.MaxGPUs,
-		NIC:     links[sp.Interconnect],
-		Intra:   links[sp.IntraNode],
+		NIC:     sp.link(sp.Interconnect),
+		Intra:   sp.link(sp.IntraNode),
 		Profile: profiles[sp.GPU].prof,
 	}
 }

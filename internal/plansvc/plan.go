@@ -129,9 +129,9 @@ func (p *planner) planPipeline(sp *planSpec, resp *PlanResponse) error {
 	}
 	// The inter-stage link: intra-node when the whole pipeline fits on one
 	// machine, the NIC otherwise (the datapar.SyncTime convention).
-	link := links[sp.IntraNode]
+	link := sp.link(sp.IntraNode)
 	if n > sp.GPUsPerNode {
-		link = links[sp.Interconnect]
+		link = sp.link(sp.Interconnect)
 	}
 	sched := disciplines[sp.Discipline]
 	alloc := core.ModuloAllocation(L, n, sp.GroupSize)

@@ -124,20 +124,22 @@ type serviceMetrics struct {
 	reqLatency    *metrics.Histogram
 }
 
-// cachedPlan is the cache value: the response, its serialized body, and the
-// prebuilt fingerprint header value, so hits serve stored bytes with zero
-// planning, encoding or header-allocation work.
+// cachedPlan is the cache value: the response (*PlanResponse or
+// *WhatIfResponse), its serialized body, and the prebuilt fingerprint header
+// value, so hits serve stored bytes with zero planning, encoding or
+// header-allocation work.
 type cachedPlan struct {
-	resp     *PlanResponse
+	resp     any
 	body     []byte
-	fpHeader []string // {resp.Fingerprint}, assigned directly into the header map
+	fpHeader []string // {fingerprint}, assigned directly into the header map
 }
 
-// job is one admitted planning request.
+// job is one admitted computation (a plan or a what-if).
 type job struct {
-	sp   *planSpec
-	ctx  context.Context
-	done chan jobResult // buffered(1): workers never block on abandoned jobs
+	label string // for panic logs: "plan datapar", "whatif pipeline", ...
+	fn    func() (*cachedPlan, error)
+	ctx   context.Context
+	done  chan jobResult // buffered(1): workers never block on abandoned jobs
 }
 
 type jobResult struct {
@@ -215,23 +217,52 @@ func (s *Service) Plan(ctx context.Context, req *PlanRequest) (*PlanResponse, er
 	if err != nil {
 		return nil, err
 	}
-	return entry.resp, nil
+	return entry.resp.(*PlanResponse), nil
 }
 
-// lookupOrPlan runs the fingerprint → cache → admission → worker path.
+// WhatIf computes (or returns the cached) what-if estimate for req. It is
+// the programmatic equivalent of POST /v1/whatif and shares the plan path's
+// fingerprint, cache, and admission layers.
+func (s *Service) WhatIf(ctx context.Context, req *WhatIfRequest) (*WhatIfResponse, error) {
+	ws, err := normalizeWhatIf(req)
+	if err != nil {
+		return nil, err
+	}
+	entry, _, err := s.lookupOrWhatIf(ctx, ws)
+	if err != nil {
+		return nil, err
+	}
+	return entry.resp.(*WhatIfResponse), nil
+}
+
+// lookupOrPlan runs the fingerprint → cache → admission → worker path for a
+// plan request.
 func (s *Service) lookupOrPlan(ctx context.Context, sp *planSpec) (*cachedPlan, cache.Outcome, error) {
+	return s.lookupOrCompute(ctx, sp.fingerprint(), sp.deadlineMillis, "plan "+sp.Mode,
+		func() (*cachedPlan, error) { return s.computePlan(sp) })
+}
+
+// lookupOrWhatIf is lookupOrPlan for a what-if request.
+func (s *Service) lookupOrWhatIf(ctx context.Context, ws *whatifSpec) (*cachedPlan, cache.Outcome, error) {
+	return s.lookupOrCompute(ctx, ws.fingerprint(), ws.Plan.deadlineMillis, "whatif "+ws.Plan.Mode,
+		func() (*cachedPlan, error) { return s.computeWhatIf(ws) })
+}
+
+// lookupOrCompute runs the shared fingerprint → cache → admission → worker
+// path: cache hits and collapsed waits never reach the queue; misses are
+// computed once by a worker under the request deadline.
+func (s *Service) lookupOrCompute(ctx context.Context, fp string, deadlineMillis int64, label string, fn func() (*cachedPlan, error)) (*cachedPlan, cache.Outcome, error) {
 	// The server-side deadline: the request's timeout clamped to MaxPlanTime.
 	limit := s.opts.MaxPlanTime
-	if ms := sp.deadlineMillis; ms > 0 {
+	if ms := deadlineMillis; ms > 0 {
 		if d := time.Duration(ms) * time.Millisecond; d < limit {
 			limit = d
 		}
 	}
 	ctx, cancel := context.WithTimeout(ctx, limit)
 	defer cancel()
-	fp := sp.fingerprint()
 	entry, err, outcome := s.cache.Do(ctx, fp, func() (*cachedPlan, error) {
-		return s.execute(ctx, sp)
+		return s.execute(ctx, label, fn)
 	})
 	switch outcome {
 	case cache.Hit:
@@ -250,8 +281,8 @@ func (s *Service) lookupOrPlan(ctx context.Context, sp *planSpec) (*cachedPlan, 
 }
 
 // execute admits the job to the bounded queue and waits for a worker.
-func (s *Service) execute(ctx context.Context, sp *planSpec) (*cachedPlan, error) {
-	j := &job{sp: sp, ctx: ctx, done: make(chan jobResult, 1)}
+func (s *Service) execute(ctx context.Context, label string, fn func() (*cachedPlan, error)) (*cachedPlan, error) {
+	j := &job{label: label, fn: fn, ctx: ctx, done: make(chan jobResult, 1)}
 	if err := s.enqueue(j); err != nil {
 		return nil, err
 	}
@@ -332,7 +363,7 @@ func (s *Service) run(j *job) {
 		return
 	}
 	t0 := time.Now()
-	entry, err := s.compute(j.sp)
+	entry, err := s.safeCompute(j)
 	d := time.Since(t0)
 	s.met.planLatency.Observe(d.Seconds())
 	s.observePlanLatency(d)
@@ -344,15 +375,34 @@ func (s *Service) run(j *job) {
 	j.done <- jobResult{entry: entry, err: err}
 }
 
-func (s *Service) compute(sp *planSpec) (entry *cachedPlan, err error) {
+// safeCompute runs a job's compute function under panic recovery.
+func (s *Service) safeCompute(j *job) (entry *cachedPlan, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.met.planPanics.Inc()
-			s.log.Error("plan panic", "mode", sp.Mode, "model", sp.ModelName, "panic", r)
+			s.log.Error("plan panic", "job", j.label, "panic", r)
 			entry, err = nil, &APIError{Code: CodeInternal, Message: "planner failure"}
 		}
 	}()
+	return j.fn()
+}
+
+// computePlan runs the planner and packages the cache entry for one plan.
+func (s *Service) computePlan(sp *planSpec) (*cachedPlan, error) {
 	resp, err := s.planFn(sp)
+	if err != nil {
+		return nil, err
+	}
+	body, err := marshalBody(resp)
+	if err != nil {
+		return nil, &APIError{Code: CodeInternal, Message: "response encoding failed"}
+	}
+	return &cachedPlan{resp: resp, body: body, fpHeader: []string{resp.Fingerprint}}, nil
+}
+
+// computeWhatIf is computePlan for a what-if estimate.
+func (s *Service) computeWhatIf(ws *whatifSpec) (*cachedPlan, error) {
+	resp, err := s.planner.whatif(ws)
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,7 @@ const (
 // Handler returns the service's HTTP handler:
 //
 //	POST /v1/plan     — compute (or fetch) a schedule plan
+//	POST /v1/whatif   — plan under a perturbed cost model (Daydream-style)
 //	GET  /v1/models   — list the model zoo
 //	GET  /v1/healthz  — liveness
 //	GET  /metrics     — plaintext metric exposition
@@ -36,13 +37,16 @@ const (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
 	// The "/" fallback below would otherwise swallow the mux's automatic 405
-	// for wrong-method hits on /v1/plan.
-	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Allow", http.MethodPost)
-		s.writeError(w, http.StatusMethodNotAllowed, &APIError{Code: CodeMethodNotAllowed,
-			Message: fmt.Sprintf("%s not allowed on /v1/plan; use POST", r.Method)})
-	})
+	// for wrong-method hits on the POST routes.
+	for _, path := range []string{"/v1/plan", "/v1/whatif"} {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", http.MethodPost)
+			s.writeError(w, http.StatusMethodNotAllowed, &APIError{Code: CodeMethodNotAllowed,
+				Message: fmt.Sprintf("%s not allowed on %s; use POST", r.Method, path)})
+		})
+	}
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -65,7 +69,7 @@ func (s *Service) logRequests(h http.Handler) http.Handler {
 		rw.ResponseWriter, rw.status, rw.bytes = w, http.StatusOK, 0
 		h.ServeHTTP(rw, r)
 		d := time.Since(t0)
-		if r.URL.Path == "/v1/plan" {
+		if r.URL.Path == "/v1/plan" || r.URL.Path == "/v1/whatif" {
 			s.met.reqLatency.Observe(d.Seconds())
 		}
 		ctx := r.Context()
@@ -135,6 +139,39 @@ func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// Direct map assignment of precomputed value slices: the keys are already
 	// in canonical MIME form, so this skips both textproto canonicalization
 	// and the per-call []string allocation of Header().Set.
+	h := w.Header()
+	h["Content-Type"] = headerJSON
+	h[HeaderOutcome] = outcomeHeaders[outcome]
+	h[HeaderFingerprint] = entry.fpHeader
+	w.Write(entry.body)
+}
+
+func (s *Service) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Inc()
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	var req WhatIfRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.met.badRequests.Inc()
+		s.writeError(w, http.StatusBadRequest, &APIError{Code: CodeInvalidRequest,
+			Message: fmt.Sprintf("malformed request body: %v", err)})
+		return
+	}
+	ws, err := normalizeWhatIf(&req)
+	if err != nil {
+		s.met.badRequests.Inc()
+		s.writeTypedError(w, err)
+		return
+	}
+
+	entry, outcome, err := s.lookupOrWhatIf(r.Context(), ws)
+	if err != nil {
+		s.writeTypedError(w, err)
+		return
+	}
 	h := w.Header()
 	h["Content-Type"] = headerJSON
 	h[HeaderOutcome] = outcomeHeaders[outcome]
@@ -235,8 +272,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// marshalBody renders the canonical (cached) response body.
-func marshalBody(resp *PlanResponse) ([]byte, error) {
+// marshalBody renders the canonical (cached) response body
+// (*PlanResponse or *WhatIfResponse).
+func marshalBody(resp any) ([]byte, error) {
 	b, err := json.MarshalIndent(resp, "", "  ")
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"oooback/internal/calib"
 	"oooback/internal/graph"
 	"oooback/internal/nn"
 	"oooback/internal/tensor"
@@ -114,6 +115,20 @@ type Executor struct {
 	traceMu   sync.Mutex
 	t0        time.Time
 	laneNames []string // per-worker lane names, built once
+
+	// Profiling (nil prof = disabled). Caches are built by SetProfiler so a
+	// profiled step's observes allocate nothing; profWork[i] is layer i's
+	// elements-touched work feature, captured during the profiled forward.
+	// profPass is true while a profiled Backward is in flight — written
+	// before the pass's first δW dispatch, so pool workers' reads are ordered
+	// by the task-channel sends.
+	prof            *calib.Profiler
+	profNet         *Network
+	profLType       []string
+	profWork        []float64
+	profParamElems  []float64
+	profTotalParams float64
+	profPass        bool
 }
 
 // NewExecutor creates an executor. workers bounds the δW pool for
@@ -247,10 +262,17 @@ func (e *Executor) worker(id int) {
 }
 
 func (e *Executor) runDW(worker int, t dwTask) {
-	if tr := e.tr; tr != nil {
+	tracing, profiling := e.tr != nil, e.profPass
+	if tracing || profiling {
 		start := e.now()
 		wsWeightGrad(t.layer, t.grad, e.laneWS[worker])
-		e.span(e.laneNames[worker], graph.Op{Kind: graph.WeightGrad, Layer: t.idx}, start, e.now())
+		end := e.now()
+		if tracing {
+			e.span(e.laneNames[worker], graph.Op{Kind: graph.WeightGrad, Layer: t.idx}, start, end)
+		}
+		if profiling {
+			e.prof.Observe(calib.OpDW, t.idx, e.profLType[t.idx], e.profWork[t.idx], end-start)
+		}
 	} else {
 		wsWeightGrad(t.layer, t.grad, e.laneWS[worker])
 	}
@@ -334,18 +356,26 @@ func (e *Executor) Backward(n *Network, lossGrad *tensor.Tensor, sched graph.Bac
 	e.grads[L] = lossGrad
 
 	tracing := e.tr != nil
+	profiling := e.prof != nil && e.profNet == n
+	e.profPass = profiling
 	for _, op := range sched {
 		i := op.Layer
 		switch op.Kind {
 		case graph.OutGrad:
 			g := e.grads[i]
 			var start time.Duration
-			if tracing {
+			if tracing || profiling {
 				start = e.now()
 			}
 			gin := wsInputGrad(n.Layers[i-1], g, e.chainWS)
-			if tracing {
-				e.span(laneCritical, op, start, e.now())
+			if tracing || profiling {
+				end := e.now()
+				if tracing {
+					e.span(laneCritical, op, start, end)
+				}
+				if profiling {
+					e.prof.Observe(calib.OpDO, i, e.profLType[i], e.profWork[i], end-start)
+				}
 			}
 			if i > 1 {
 				e.grads[i-1] = gin
@@ -381,11 +411,12 @@ func (e *Executor) backwardSerial(n *Network, lossGrad *tensor.Tensor, sched gra
 	}
 	e.grads[L] = lossGrad
 	tracing := e.tr != nil
+	profiling := e.prof != nil && e.profNet == n
 	for _, op := range sched {
 		i := op.Layer
 		g := e.grads[i]
 		var start time.Duration
-		if tracing {
+		if tracing || profiling {
 			start = e.now()
 		}
 		switch op.Kind {
@@ -400,8 +431,18 @@ func (e *Executor) backwardSerial(n *Network, lossGrad *tensor.Tensor, sched gra
 				e.onDW(i)
 			}
 		}
-		if tracing {
-			e.span(laneCritical, op, start, e.now())
+		if tracing || profiling {
+			end := e.now()
+			if tracing {
+				e.span(laneCritical, op, start, end)
+			}
+			if profiling {
+				kind := calib.OpDO
+				if op.Kind == graph.WeightGrad {
+					kind = calib.OpDW
+				}
+				e.prof.Observe(kind, i, e.profLType[i], e.profWork[i], end-start)
+			}
 		}
 	}
 	return BackwardStats{PeakLiveGrads: peak}, nil
@@ -411,6 +452,9 @@ func (e *Executor) backwardSerial(n *Network, lossGrad *tensor.Tensor, sched gra
 // executor's engine, optimizer update) and returns the loss. A nil receiver
 // runs the serial engine, making it a drop-in for train.Step.
 func (e *Executor) Step(n *Network, x *tensor.Tensor, labels []int, sched graph.BackwardSchedule, opt nn.Optimizer) (float64, error) {
+	if e != nil && e.prof != nil && e.profNet == n {
+		return e.stepProfiled(n, x, labels, sched, opt)
+	}
 	n.ZeroGrads()
 	logits := n.Forward(x)
 	loss, grad := nn.SoftmaxCrossEntropy(logits, labels)

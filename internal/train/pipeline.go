@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"oooback/internal/calib"
 	"oooback/internal/graph"
 	"oooback/internal/nn"
 	"oooback/internal/tensor"
@@ -63,6 +64,15 @@ type Pipeline struct {
 	fbLossGrad *tensor.Tensor
 
 	statsBuf []StageStats
+
+	// Profiling (nil = disabled); caches built by SetProfiler. profWork[i] is
+	// global layer i's per-microbatch work feature, written only by the one
+	// stage goroutine that owns layer i (disjoint index ranges — no race).
+	prof            *calib.Profiler
+	profLType       []string
+	profWork        []float64
+	profParamElems  []float64
+	profTotalParams float64
 }
 
 // PipeSchedule selects the microbatch pipeline discipline.
@@ -194,6 +204,8 @@ type pipeMsg struct {
 type deferredDW struct {
 	layer nn.ChunkBackward
 	grad  *tensor.Tensor
+	gi    int     // 1-based global layer index, for profiling labels
+	work  float64 // work feature captured at deferral time
 }
 
 type stageOpKind uint8
@@ -471,8 +483,12 @@ func (p *Pipeline) Step(x *tensor.Tensor, labels []int) (float64, PipeStepStats,
 	if err := p.shard(x, labels); err != nil {
 		return 0, st, err
 	}
+	wall := time.Now()
 	p.stepN = len(labels)
 	p.proto.ZeroGrads()
+	if p.prof != nil {
+		p.prof.Observe(calib.OpZero, 0, stepScope, p.profTotalParams, time.Since(wall))
+	}
 	t0 := time.Now()
 	for _, s := range p.stages {
 		s.cmd <- struct{}{}
@@ -481,11 +497,16 @@ func (p *Pipeline) Step(x *tensor.Tensor, labels []int) (float64, PipeStepStats,
 		<-p.acks
 	}
 	st.Wall = time.Since(t0)
+	tU := time.Now()
 	for _, cb := range p.seal {
 		cb.SealWeightGrad()
 	}
 	loss := p.stages[len(p.stages)-1].lossRaw / float64(p.stepN)
 	p.opt.Step(p.proto.Params())
+	if p.prof != nil {
+		p.prof.Observe(calib.OpUpdate, 0, stepScope, p.profTotalParams, time.Since(tU))
+		p.prof.EndStep(time.Since(wall))
+	}
 	for i, s := range p.stages {
 		p.statsBuf[i] = s.stats
 	}
@@ -545,11 +566,27 @@ func (st *pipeStage) runForward(mb int) {
 		x = st.recv(st.actIn, mb)
 	}
 	t0 := time.Now()
-	for j, l := range st.layers[mb] {
-		if wf := st.fws[mb][j]; wf != nil {
-			x = wf.ForwardWS(x, st.ws)
-		} else {
-			x = l.Forward(x)
+	if prof := st.p.prof; prof != nil {
+		for j, l := range st.layers[mb] {
+			gi := st.lo + j + 1
+			in := float64(x.Len())
+			s0 := time.Now()
+			if wf := st.fws[mb][j]; wf != nil {
+				x = wf.ForwardWS(x, st.ws)
+			} else {
+				x = l.Forward(x)
+			}
+			w := in + float64(x.Len()) + st.p.profParamElems[gi]
+			st.p.profWork[gi] = w
+			prof.Observe(calib.OpFwd, gi, st.p.profLType[gi], w, time.Since(s0))
+		}
+	} else {
+		for j, l := range st.layers[mb] {
+			if wf := st.fws[mb][j]; wf != nil {
+				x = wf.ForwardWS(x, st.ws)
+			} else {
+				x = l.Forward(x)
+			}
 		}
 	}
 	st.stats.Fwd += time.Since(t0)
@@ -561,6 +598,7 @@ func (st *pipeStage) runForward(mb int) {
 }
 
 func (st *pipeStage) runBackward(mb int) {
+	prof := st.p.prof
 	var g *tensor.Tensor
 	if st.last {
 		t0 := time.Now()
@@ -568,17 +606,30 @@ func (st *pipeStage) runBackward(mb int) {
 		st.lossGrad[mb] = tensor.Ensure(st.lossGrad[mb], logits.Shape[0], logits.Shape[1])
 		st.lossRaw = nn.SoftmaxCrossEntropyChunk(st.lossGrad[mb], logits, st.p.mbLabels[mb], st.p.stepN, st.lossRaw)
 		g = st.lossGrad[mb]
-		st.stats.DO += time.Since(t0)
+		d := time.Since(t0)
+		st.stats.DO += d
+		if prof != nil {
+			prof.Observe(calib.OpLoss, 0, stepScope, float64(logits.Len()), d)
+		}
 	} else {
 		g = st.recv(st.gradIn, mb)
 	}
 	for j := len(st.layers[mb]) - 1; j >= 0; j-- {
+		gi := st.lo + j + 1
 		if st.p.fill {
-			st.dwq = append(st.dwq, deferredDW{layer: st.chb[mb][j], grad: g})
+			dd := deferredDW{layer: st.chb[mb][j], grad: g}
+			if prof != nil {
+				dd.gi, dd.work = gi, st.p.profWork[gi]
+			}
+			st.dwq = append(st.dwq, dd)
 		} else {
 			t0 := time.Now()
 			st.chb[mb][j].WeightGradChunk(g, st.ws)
-			st.stats.DWInline += time.Since(t0)
+			d := time.Since(t0)
+			st.stats.DWInline += d
+			if prof != nil {
+				prof.Observe(calib.OpDW, gi, st.p.profLType[gi], st.p.profWork[gi], d)
+			}
 		}
 		if st.id == 0 && j == 0 {
 			// δO of the bottommost layer feeds nothing; the serial reference
@@ -587,7 +638,11 @@ func (st *pipeStage) runBackward(mb int) {
 		}
 		t0 := time.Now()
 		g = st.wsb[mb][j].InputGradWS(g, st.ws)
-		st.stats.DO += time.Since(t0)
+		d := time.Since(t0)
+		st.stats.DO += d
+		if prof != nil {
+			prof.Observe(calib.OpDO, gi, st.p.profLType[gi], st.p.profWork[gi], d)
+		}
 	}
 	if st.gradOut != nil {
 		st.gradOut <- pipeMsg{mb: mb, t: g}
@@ -631,6 +686,10 @@ func (st *pipeStage) runOneDeferred() bool {
 	st.dwHead++
 	t0 := time.Now()
 	d.layer.WeightGradChunk(d.grad, st.ws)
-	st.stats.DWFill += time.Since(t0)
+	dur := time.Since(t0)
+	st.stats.DWFill += dur
+	if prof := st.p.prof; prof != nil && d.gi > 0 {
+		prof.Observe(calib.OpDWFill, d.gi, st.p.profLType[d.gi], d.work, dur)
+	}
 	return true
 }

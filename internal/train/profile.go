@@ -1,0 +1,154 @@
+package train
+
+import (
+	"time"
+
+	"oooback/internal/calib"
+	"oooback/internal/graph"
+	"oooback/internal/nn"
+	"oooback/internal/tensor"
+)
+
+// This file hooks calib.Profiler into the training engines. The span points
+// mirror the tracing ones: per-layer forward, δO and δW (inline or
+// bubble-filled) plus the step-scoped loss/update/zeroGrad ops on the
+// executor and pipeline, and per-bucket gradient reduction on the
+// data-parallel engine. Profiling must not change a single gradient bit —
+// the profiled step runs the exact op sequence of the unprofiled one, with
+// timing reads around each op — and adds no allocations on the warm path
+// (the profiler's slot storage is bounded and pre-grown at first observe).
+
+// stepScope labels the step-scoped ops (loss, update, zeroGrad) that belong
+// to the whole iteration rather than one layer.
+const stepScope = "step"
+
+// layerTypeName maps a layer to its cost-model type tag ("dense", "conv2d",
+// ...). Same-type layers share a fitted per-type cost law ("fwd:dense") no
+// matter where they sit in the network.
+func layerTypeName(l nn.Layer) string {
+	switch l.(type) {
+	case *nn.Dense:
+		return "dense"
+	case *nn.ReLU:
+		return "relu"
+	case *nn.Conv2D:
+		return "conv2d"
+	case *nn.MaxPool2:
+		return "maxpool2"
+	case *nn.Flatten:
+		return "flatten"
+	case *nn.Embedding:
+		return "embedding"
+	case *nn.LayerNorm:
+		return "layernorm"
+	case *nn.MeanPool1D:
+		return "meanpool1d"
+	case *nn.SelfAttention:
+		return "attention"
+	case *nn.Dropout:
+		return "dropout"
+	default:
+		return "layer"
+	}
+}
+
+// paramElems counts a layer's learnable elements.
+func paramElems(l nn.Layer) float64 {
+	var n int
+	for _, p := range l.Params() {
+		n += p.Value.Len()
+	}
+	return float64(n)
+}
+
+// SetProfiler attaches a profiler recording net n's steps (nil detaches).
+// Layer types and parameter counts are cached here so the profiled hot path
+// performs no interface type switches or Params() walks. Call between steps,
+// never during one.
+func (e *Executor) SetProfiler(p *calib.Profiler, n *Network) {
+	if e == nil {
+		return
+	}
+	if p == nil || n == nil {
+		e.prof, e.profNet = nil, nil
+		return
+	}
+	L := len(n.Layers)
+	e.prof = p
+	e.profNet = n
+	e.profLType = make([]string, L+1)
+	e.profWork = make([]float64, L+1)
+	e.profParamElems = make([]float64, L+1)
+	e.profTotalParams = 0
+	for i, l := range n.Layers {
+		e.profLType[i+1] = layerTypeName(l)
+		e.profParamElems[i+1] = paramElems(l)
+		e.profTotalParams += e.profParamElems[i+1]
+	}
+}
+
+// stepProfiled is Step with per-op profiling: the same ZeroGrads → forward →
+// loss → backward → update sequence, with the forward expanded into the
+// per-layer loop Network.Forward runs (identical bits) so each layer's
+// duration and work feature — elements touched: input + output + parameter
+// elements — can be recorded. Backward op observes live in the backward
+// engines themselves, next to the tracing spans.
+func (e *Executor) stepProfiled(n *Network, x *tensor.Tensor, labels []int, sched graph.BackwardSchedule, opt nn.Optimizer) (float64, error) {
+	wall := time.Now()
+	start := e.now()
+	n.ZeroGrads()
+	e.prof.Observe(calib.OpZero, 0, stepScope, e.profTotalParams, e.now()-start)
+	cur := x
+	for i := 1; i <= len(n.Layers); i++ {
+		in := float64(cur.Len())
+		start = e.now()
+		cur = n.Layers[i-1].Forward(cur)
+		d := e.now() - start
+		w := in + float64(cur.Len()) + e.profParamElems[i]
+		e.profWork[i] = w
+		e.prof.Observe(calib.OpFwd, i, e.profLType[i], w, d)
+	}
+	start = e.now()
+	loss, grad := nn.SoftmaxCrossEntropy(cur, labels)
+	e.prof.Observe(calib.OpLoss, 0, stepScope, float64(cur.Len()), e.now()-start)
+	if _, err := e.Backward(n, grad, sched); err != nil {
+		return 0, err
+	}
+	start = e.now()
+	opt.Step(n.Params())
+	e.prof.Observe(calib.OpUpdate, 0, stepScope, e.profTotalParams, e.now()-start)
+	e.prof.EndStep(time.Since(wall))
+	return loss, nil
+}
+
+// SetProfiler attaches a profiler to the pipeline (nil detaches). The stage
+// goroutines read the caches without locks; the write here is ordered before
+// their reads by the next Step's command-channel sends. Call between steps,
+// never during one.
+func (p *Pipeline) SetProfiler(pr *calib.Profiler) {
+	p.prof = pr
+	if pr == nil {
+		return
+	}
+	L := len(p.proto.Layers)
+	p.profLType = make([]string, L+1)
+	p.profWork = make([]float64, L+1)
+	p.profParamElems = make([]float64, L+1)
+	p.profTotalParams = 0
+	for i, l := range p.proto.Layers {
+		p.profLType[i+1] = layerTypeName(l)
+		p.profParamElems[i+1] = paramElems(l)
+		p.profTotalParams += p.profParamElems[i+1]
+	}
+}
+
+// SetProfiler attaches a profiler to the data-parallel engine (nil
+// detaches). The engine's profiled span is gradient reduction — one
+// calib.OpReduce observation per bucket per step, keyed by the bucket's
+// first member layer with the bucket's total gradient elements as work —
+// plus the step wall time. The reducer goroutine's read of the profiler is
+// ordered by the publish-channel receives that precede every reduction.
+// Call between steps, never during one.
+func (dp *DataParallel) SetProfiler(pr *calib.Profiler) {
+	dp.prof = pr
+}

@@ -1,0 +1,188 @@
+package train
+
+import (
+	"testing"
+
+	"oooback/internal/calib"
+	"oooback/internal/data"
+	"oooback/internal/graph"
+	"oooback/internal/nn"
+)
+
+// countKinds tallies a profiled net's op stats by kind string.
+func countKinds(np calib.NetProfile) map[string]int {
+	m := map[string]int{}
+	for _, s := range np.Ops {
+		m[s.Kind]++
+	}
+	return m
+}
+
+// TestExecutorProfiledStepBitwise asserts profiling is a pure observer: a
+// profiled training run produces the exact parameter bits of an unprofiled
+// one, for both backward engines, and the snapshot carries per-layer
+// fwd/dO/dW stats plus the step-scoped ops.
+func TestExecutorProfiledStepBitwise(t *testing.T) {
+	x, labels := data.Vectors(3, 12, 16, 3)
+	const steps = 6
+	for _, mode := range []ExecMode{ExecSerial, ExecConcurrent} {
+		t.Run(mode.String(), func(t *testing.T) {
+			run := func(profile bool) (map[string]*Network, *calib.Profiler) {
+				n := MLPNet(11, 16, 24, 3, 3)
+				e := NewExecutor(mode, 2)
+				defer e.Close()
+				var p *calib.Profiler
+				if profile {
+					p = calib.NewProfiler("mlp", mode.String(), len(n.Layers), 2)
+					e.SetProfiler(p, n)
+				}
+				sched := graph.ReverseFirstK(len(n.Layers), 2)
+				opt := &nn.SGD{LR: 0.05}
+				for s := 0; s < steps; s++ {
+					if _, err := e.Step(n, x, labels, sched, opt); err != nil {
+						t.Fatalf("step %d: %v", s, err)
+					}
+				}
+				return map[string]*Network{"n": n}, p
+			}
+			ref, _ := run(false)
+			got, p := run(true)
+			if !SnapshotsEqual(ParamSnapshot(ref["n"]), ParamSnapshot(got["n"])) {
+				t.Fatal("profiled run diverged from unprofiled run")
+			}
+			np := p.Snapshot()
+			if err := (&calib.Profile{Version: calib.ProfileVersion, Nets: []calib.NetProfile{np}}).Validate(); err != nil {
+				t.Fatalf("snapshot does not validate: %v", err)
+			}
+			L := len(ref["n"].Layers)
+			kinds := countKinds(np)
+			if kinds["fwd"] != L || kinds["dO"] != L || kinds["dW"] != L {
+				t.Fatalf("want %d fwd/dO/dW stats each, got %v", L, kinds)
+			}
+			for _, k := range []string{"loss", "update", "zeroGrad"} {
+				if kinds[k] != 1 {
+					t.Fatalf("want 1 %s stat, got %v", k, kinds)
+				}
+			}
+			if np.WarmSteps != steps-2 {
+				t.Fatalf("want %d warm steps, got %d", steps-2, np.WarmSteps)
+			}
+			for _, s := range np.Ops {
+				if s.Kind == "fwd" && s.Work <= 0 {
+					t.Fatalf("layer %d fwd has no work feature", s.Layer)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineProfiledStepBitwise asserts the profiled pipeline step keeps
+// the bitwise contract with the serial reference and records forward, δO,
+// bubble-filled δW and the step-scoped ops.
+func TestPipelineProfiledStepBitwise(t *testing.T) {
+	build := func() *Network { return MLPNet(31, 6, 10, 3, 4) }
+	x, labels := data.Vectors(41, 8, 6, 4)
+	const steps = 5
+
+	ref := build()
+	refOpt := &nn.SGD{LR: 0.05}
+	refExec := NewExecutor(ExecSerial, 0)
+	sched := graph.Conventional(len(ref.Layers))
+	for s := 0; s < steps; s++ {
+		if _, err := refExec.Step(ref, x, labels, sched, refOpt); err != nil {
+			t.Fatalf("ref step %d: %v", s, err)
+		}
+	}
+
+	pipe, err := NewPipeline(build(), &nn.SGD{LR: 0.05}, PipelineConfig{
+		Stages: 2, MicroBatches: 4, Schedule: Pipe1F1B, Build: build,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	p := calib.NewProfiler("mlp-pipe", "pipeline", len(pipe.Net().Layers), 2)
+	pipe.SetProfiler(p)
+	for s := 0; s < steps; s++ {
+		if _, _, err := pipe.Step(x, labels); err != nil {
+			t.Fatalf("pipe step %d: %v", s, err)
+		}
+	}
+	if !SnapshotsEqual(ParamSnapshot(ref), ParamSnapshot(pipe.Net())) {
+		t.Fatal("profiled pipeline diverged from serial reference")
+	}
+	np := p.Snapshot()
+	if np.Engine != "pipeline" {
+		t.Fatalf("engine = %q", np.Engine)
+	}
+	L := len(pipe.Net().Layers)
+	kinds := countKinds(np)
+	if kinds["fwd"] != L {
+		t.Fatalf("want %d fwd stats, got %v", L, kinds)
+	}
+	// Every layer's δW is deferred into bubbles, so dWFill covers all layers;
+	// stage 0 skips the bottommost δO.
+	if kinds["dWFill"] != L || kinds["dW"] != 0 {
+		t.Fatalf("want %d dWFill and 0 inline dW stats, got %v", L, kinds)
+	}
+	if kinds["dO"] != L-1 {
+		t.Fatalf("want %d dO stats, got %v", L-1, kinds)
+	}
+	if kinds["loss"] != 1 || kinds["update"] != 1 || kinds["zeroGrad"] != 1 {
+		t.Fatalf("missing step-scoped stats: %v", kinds)
+	}
+}
+
+// TestDataParallelProfilerRecordsReduce asserts the data-parallel engine
+// records one reduce stat per bucket with the bucket's element count as work,
+// without perturbing the training bits.
+func TestDataParallelProfilerRecordsReduce(t *testing.T) {
+	build := func() *Network { return MLPNet(11, 16, 24, 3, 3) }
+	x, labels := data.Vectors(3, 12, 16, 3)
+	const steps = 5
+	run := func(profile bool) (*Network, *calib.Profiler, []BucketInfo) {
+		net := build()
+		dp, err := NewDataParallel(net, &nn.SGD{LR: 0.05}, DataParallelConfig{
+			Replicas: 2, Build: build, Sync: SyncLayerPriority, BucketBytes: 4 << 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dp.Close()
+		var p *calib.Profiler
+		if profile {
+			p = calib.NewProfiler("mlp-dp", "datapar", len(net.Layers), 2)
+			dp.SetProfiler(p)
+		}
+		for s := 0; s < steps; s++ {
+			if _, _, err := dp.Step(x, labels); err != nil {
+				t.Fatalf("step %d: %v", s, err)
+			}
+		}
+		return net, p, dp.Plan()
+	}
+	ref, _, _ := run(false)
+	got, p, plan := run(true)
+	if !SnapshotsEqual(ParamSnapshot(ref), ParamSnapshot(got)) {
+		t.Fatal("profiled data-parallel run diverged from unprofiled run")
+	}
+	np := p.Snapshot()
+	kinds := countKinds(np)
+	if kinds["reduce"] != len(plan) {
+		t.Fatalf("want %d reduce stats (one per bucket), got %v", len(plan), kinds)
+	}
+	byLayer := map[int]float64{}
+	for _, s := range np.Ops {
+		if s.Kind == "reduce" {
+			byLayer[s.Layer] = s.Work
+		}
+	}
+	for _, b := range plan {
+		if byLayer[b.Layers[0]] != float64(b.Elems) {
+			t.Fatalf("bucket at layer %d: work %v, want %d elems", b.Layers[0], byLayer[b.Layers[0]], b.Elems)
+		}
+	}
+	if np.IterMedianNs <= 0 {
+		t.Fatal("no iteration wall recorded")
+	}
+}

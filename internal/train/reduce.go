@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"oooback/internal/calib"
 	"oooback/internal/datapar"
 	"oooback/internal/graph"
 	"oooback/internal/nn"
@@ -194,7 +195,12 @@ func (dp *DataParallel) reducerLoop() {
 			}
 			t0 := time.Now()
 			dp.reduceBucket(b)
-			busy += time.Since(t0)
+			d := time.Since(t0)
+			busy += d
+			if prof := dp.prof; prof != nil {
+				bk := &dp.plan.buckets[b]
+				prof.Observe(calib.OpReduce, bk.layers[0], "bucket", float64(bk.elems), d)
+			}
 			ready[b] = false
 			counts[b] = 0
 			done++

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"oooback/internal/calib"
 	"oooback/internal/graph"
 	"oooback/internal/nn"
 	"oooback/internal/tensor"
@@ -54,6 +55,10 @@ type DataParallel struct {
 	// concurrent phases, so the replica goroutines' reads are ordered by the
 	// command-channel sends.
 	refMode bool
+
+	// prof, when set, records per-bucket reduction spans and step walls
+	// (see SetProfiler in profile.go).
+	prof *calib.Profiler
 
 	closed bool
 }
@@ -321,12 +326,16 @@ func (dp *DataParallel) Step(x *tensor.Tensor, labels []int) (float64, StepStats
 	if err := dp.shard(x, labels); err != nil {
 		return 0, st, err
 	}
+	wall := time.Now()
 	dp.forwardPhase(&st)
 	if err := dp.backwardReducePhase(&st); err != nil {
 		return 0, st, err
 	}
 	loss := dp.foldLoss(len(labels))
 	dp.applyUpdate()
+	if dp.prof != nil {
+		dp.prof.EndStep(time.Since(wall))
+	}
 	return loss, st, nil
 }
 
