@@ -6,6 +6,7 @@
 package oooback
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -343,6 +344,45 @@ func BenchmarkPlanService(b *testing.B) {
 	b.ReportMetric(rep.OpsPerSec, "ops/s")
 	b.ReportMetric(rep.LatencyMsP95, "p95-ms")
 }
+
+// benchPlanColdMiss measures one full cold plan computation — normalize,
+// fingerprint, queue, k search, encode — under the given search strategy.
+// Each iteration perturbs max_memory_bytes by +i so every request misses the
+// cache (1<<40 dwarfs any real activation footprint, so the clamp never binds
+// and the planning work is identical across misses). The probes/op metric is
+// the number of simulator probes the k search issued; BENCH files track the
+// exact-vs-guided ratio.
+func benchPlanColdMiss(b *testing.B, search string) {
+	svc := plansvc.New(plansvc.Options{
+		Workers:       1,
+		SearchWorkers: 1,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	b.Cleanup(svc.Close)
+	ctx := context.Background()
+	var probes int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := svc.Plan(ctx, &plansvc.PlanRequest{
+			Model:          "resnet152",
+			Cluster:        plansvc.ClusterSpec{Preset: "pub-a", GPUs: 32},
+			Search:         search,
+			MaxMemoryBytes: 1<<40 + int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.SearchStats == nil {
+			b.Fatal("missing search stats")
+		}
+		probes += int64(resp.SearchStats.Probes)
+	}
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/op")
+}
+
+func BenchmarkPlanColdMissExact(b *testing.B)  { benchPlanColdMiss(b, plansvc.SearchExact) }
+func BenchmarkPlanColdMissGuided(b *testing.B) { benchPlanColdMiss(b, plansvc.SearchGuided) }
 
 // BenchmarkTrainBackward measures real (CPU) backward passes: serial walk vs
 // concurrent executor × conventional vs reverse-first-k schedules, on the

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -36,6 +37,10 @@ type benchResult struct {
 	// OpsPerSec carries a benchmark's custom "ops/s" metric when it reports
 	// one (the plan-service closed-loop throughput); 0 otherwise.
 	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	// ProbesPerOp carries the "probes/op" metric of the plan cold-miss rows:
+	// simulator probes per planned request. The exact-vs-guided ratio is the
+	// headline saving of the guided schedule search; 0 for other rows.
+	ProbesPerOp float64 `json:"probes_per_op,omitempty"`
 }
 
 // benchBaseline is the BENCH_BASELINE.json document.
@@ -68,6 +73,7 @@ func runBench(outDir string) error {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			OpsPerSec:   r.Extra["ops/s"],
+			ProbesPerOp: r.Extra["probes/op"],
 		})
 		fmt.Fprintf(os.Stderr, "bench %-32s %12.0f ns/op %6d allocs/op\n",
 			bm.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
@@ -198,6 +204,38 @@ func trainPipelineBench(sched train.PipeSchedule, fill bool) func(b *testing.B) 
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// planColdMissBench measures one full cold plan computation under the given
+// search strategy (the root BenchmarkPlanColdMiss* bodies): every iteration
+// perturbs max_memory_bytes so the cache always misses while the planning
+// work stays identical. Reports "probes/op" — simulator probes per request.
+func planColdMissBench(search string) func(b *testing.B) {
+	return func(b *testing.B) {
+		svc := plansvc.New(plansvc.Options{
+			Workers:       1,
+			SearchWorkers: 1,
+			Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		b.Cleanup(svc.Close)
+		ctx := context.Background()
+		var probes int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := svc.Plan(ctx, &plansvc.PlanRequest{
+				Model:          "resnet152",
+				Cluster:        plansvc.ClusterSpec{Preset: "pub-a", GPUs: 32},
+				Search:         search,
+				MaxMemoryBytes: 1<<40 + int64(i),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			probes += int64(resp.SearchStats.Probes)
+		}
+		b.ReportMetric(float64(probes)/float64(b.N), "probes/op")
 	}
 }
 
@@ -381,6 +419,8 @@ func benchList() []namedBench {
 				}
 			}
 		}},
+		{"PlanColdMissExact", planColdMissBench(plansvc.SearchExact)},
+		{"PlanColdMissGuided", planColdMissBench(plansvc.SearchGuided)},
 		{"PlanServiceWarmHit", func(b *testing.B) {
 			svc := plansvc.New(plansvc.Options{
 				Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),

@@ -22,6 +22,10 @@
 //	                               validate simulated-vs-measured iteration
 //	                               time, and print a what-if estimation table;
 //	                               with -o DIR, write DIR/profile.json
+//	oooexp search                  compare guided schedule search against the
+//	                               exhaustive sweep across the model zoo
+//	                               (probes saved, optimality gap, robust
+//	                               picks); with -o DIR, write DIR/search.txt
 package main
 
 import (
@@ -75,6 +79,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "oooexp: %v\n", err)
 			os.Exit(1)
 		}
+	case "search":
+		if err := runSearch(*outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "oooexp: %v\n", err)
+			os.Exit(1)
+		}
 	case "all":
 		runIDs(experiments.IDs(), workers, *outDir)
 	default:
@@ -119,5 +128,5 @@ func runIDs(ids []string, workers int, outDir string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: oooexp [-o dir] [-parallel n] list | all | bench | exec | calib | <experiment-id>...")
+	fmt.Fprintln(os.Stderr, "usage: oooexp [-o dir] [-parallel n] list | all | bench | exec | calib | search | <experiment-id>...")
 }

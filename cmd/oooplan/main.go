@@ -23,6 +23,8 @@ import (
 	"syscall"
 	"time"
 
+	"oooback/internal/calib"
+	"oooback/internal/models"
 	"oooback/internal/plansvc"
 )
 
@@ -52,7 +54,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  oooplan serve   [-addr :8080] [-workers N] [-queue N] [-cache N] [-grace 10s]
+  oooplan serve   [-addr :8080] [-workers N] [-queue N] [-cache N] [-calib profile.json] [-grace 10s]
   oooplan loadgen [-addr URL | -inproc] [-clients N] [-requests N] [-mode datapar]
 `)
 }
@@ -63,14 +65,23 @@ func runServe(args []string) error {
 	workers := fs.Int("workers", 0, "planner worker pool size (0 = auto)")
 	queue := fs.Int("queue", 0, "admission queue depth (0 = default)")
 	cacheSize := fs.Int("cache", 0, "plan cache entries (0 = default)")
+	calibPath := fs.String("calib", "", "calibration profile JSON (oooexp calib output); zoo models are re-timed onto its fitted cost laws")
 	grace := fs.Duration("grace", 10*time.Second, "drain timeout on shutdown")
 	fs.Parse(args)
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	table, err := loadCostTable(*calibPath)
+	if err != nil {
+		return err
+	}
+	if table != nil {
+		log.Info("zoo models re-timed from calibration profile", "path", *calibPath, "table", table.Name)
+	}
 	svc := plansvc.New(plansvc.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheSize:  *cacheSize,
+		CostTable:  table,
 		Logger:     log,
 	})
 
@@ -79,9 +90,32 @@ func runServe(args []string) error {
 
 	srv := plansvc.NewHTTPServer(*addr, svc.Handler())
 	log.Info("oooplan serving", "addr", *addr)
-	err := plansvc.Serve(ctx, srv, log, *grace)
+	err = plansvc.Serve(ctx, srv, log, *grace)
 	// Workers drain only after the HTTP server stopped accepting requests,
 	// so no in-flight handler loses its planner.
 	svc.Close()
 	return err
+}
+
+// loadCostTable reads and fits a calibration profile ("" = none).
+func loadCostTable(path string) (*models.CostTable, error) {
+	if path == "" {
+		return nil, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := calib.ReadProfileJSON(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	table, err := calib.Fit(prof)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := plansvc.CheckCostTable(table); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return table, nil
 }

@@ -1,0 +1,566 @@
+// Package plansearch is the guided schedule-search engine: it finds the best
+// reverse-first-k backward schedule for a model without paying an exhaustive
+// simulator sweep on every search.
+//
+// The exhaustive baseline probes every candidate depth k ∈ [0, L) (under
+// every channel discipline of the space) with the exact analytic simulator
+// (core.IterScratch.SimulateIteration) — L·D probes. Guided search replaces
+// the sweep with three stages:
+//
+//  1. A cheap cost predictor: a handful of evenly spaced anchor depths are
+//     probed exactly, and a small linear model over closed-form features of
+//     the cost vector (deferred δW compute mass, deferred synchronization
+//     mass, the first layer's δW completion time, the admissible lower
+//     bound, k itself) is least-squares fitted to the anchor makespans.
+//     Every feature is O(1) per candidate after one O(L) prefix-sum pass.
+//  2. Coarse-to-fine probing: the remaining candidates are ranked by
+//     predicted makespan and probed exactly in rank order, in fixed-size
+//     batches fanned out through internal/parexec. An admissible lower
+//     bound LB(k) ≤ makespan(k) (see bounds.go) lets the search stop with a
+//     proof: once every unprobed candidate's bound exceeds the best exact
+//     makespan found, the optimum is certainly probed. When the bound is
+//     too loose to fire, a patience rule stops after a fixed number of
+//     consecutive non-improving probes, followed by a ±1 local polish
+//     around the incumbent — on smooth (piecewise monotone) makespan
+//     landscapes this retains the exhaustive optimum while probing a small
+//     fraction of the space.
+//  3. Robust selection (Mode Robust): seeded stochastic sampling adds
+//     diverse near-optimal candidates (softmax over predicted makespan,
+//     GFlowNet-flavoured), and the top-N schedules are re-scored under
+//     calib.WhatIf cost perturbations; the schedule with the smallest
+//     worst-case regret wins instead of the nominal argmin.
+//
+// Every stage is deterministic: the probe set, tie-breaks, and sampling
+// depend only on the space, mode, and Config (seed included) — never on
+// Config.Workers or GOMAXPROCS — and parexec merges batch results in
+// submission order, so a parallel search is bit-identical to a serial one.
+package plansearch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"oooback/internal/core"
+	"oooback/internal/graph"
+	"oooback/internal/models"
+	"oooback/internal/parexec"
+)
+
+// Discipline is one communication-channel configuration of the candidate
+// space: the priority function and preemption flag the analytic simulator
+// takes (the datapar method's channel behaviour).
+type Discipline struct {
+	// Name labels the discipline in results and logs.
+	Name string
+	// Prio maps a layer to its synchronization priority (lower = more
+	// urgent). It must be a pure function of the layer.
+	Prio func(layer int) int
+	// Preemptive selects chunk-granularity preemption on the channel.
+	Preemptive bool
+}
+
+// Space is the candidate space of one search: every reverse-first-k depth
+// k ∈ [0, L) under every listed discipline.
+type Space struct {
+	// Model supplies layer memory sizes for the reverse-first-k memory clamp.
+	Model *models.Model
+	// Costs is the per-layer cost vector the simulator probes against.
+	Costs core.IterCosts
+	// MaxMemoryBytes clamps reverse first-k to schedules whose peak memory
+	// fits (0 = unconstrained), exactly as core.ReverseFirstK applies it.
+	MaxMemoryBytes int64
+	// Disciplines lists the channel configurations searched jointly; at
+	// least one is required. A single-discipline space is the plansvc
+	// planning case; multi-discipline spaces search (k × discipline) grids.
+	Disciplines []Discipline
+}
+
+// Mode selects the search strategy.
+type Mode int
+
+const (
+	// Exact probes every candidate — the exhaustive sweep, kept as the
+	// differential-testing baseline.
+	Exact Mode = iota
+	// Guided prunes the sweep with the fitted predictor and the admissible
+	// bound cutoff.
+	Guided
+	// Robust is Guided plus seeded diverse sampling and worst-case scoring
+	// under perturbed cost models.
+	Robust
+)
+
+// String returns the mode's request-vocabulary name.
+func (m Mode) String() string {
+	switch m {
+	case Exact:
+		return "exact"
+	case Guided:
+		return "guided"
+	case Robust:
+		return "robust"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config tunes a search. The zero value means defaults everywhere. No field
+// other than Workers affects wall-clock parallelism, and Workers never
+// affects results.
+type Config struct {
+	// Workers bounds the parexec fan-out of one probe batch (≤ 1 = serial).
+	Workers int
+	// Anchors is the number of evenly spaced depths probed per discipline to
+	// fit the predictor (default 8, min numFeatures+1).
+	Anchors int
+	// Patience is the number of consecutive non-improving ranked probes
+	// after which the heuristic stop fires (default 8).
+	Patience int
+	// MinProbes floors the probe count before the heuristic stop may fire
+	// (default Anchors + Patience).
+	MinProbes int
+	// ExhaustiveBelow short-circuits to the exact sweep when the candidate
+	// count is at or below it — tiny spaces are cheaper to sweep than to
+	// model (default 20).
+	ExhaustiveBelow int
+	// Seed drives the robust mode's stochastic sampling (default 1).
+	Seed uint64
+	// RobustTopN is how many near-optimal schedules are re-scored under the
+	// perturbations (default 4).
+	RobustTopN int
+	// RobustSamples is how many extra stochastic candidates the robust mode
+	// probes beyond the guided set (default 6).
+	RobustSamples int
+	// Perturbations are the cost perturbations robust scoring evaluates
+	// (default DefaultPerturbations).
+	Perturbations []Perturbation
+	// Scratch, if non-nil, is a pool of *core.IterScratch shared with the
+	// caller (plansvc's warm pool); otherwise the search allocates its own.
+	Scratch *sync.Pool
+}
+
+// probeBatch is the fixed ranked-probing batch size. It is a constant — not
+// Workers — so the probe sequence (and therefore the chosen schedule) is
+// independent of the parallelism the search runs at.
+const probeBatch = 4
+
+const (
+	defaultAnchors         = 8
+	defaultPatience        = 8
+	defaultExhaustiveBelow = 20
+	defaultRobustTopN      = 4
+	defaultRobustSamples   = 6
+)
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.Anchors <= 0 {
+		c.Anchors = defaultAnchors
+	}
+	if c.Anchors < numFeatures+1 {
+		c.Anchors = numFeatures + 1
+	}
+	if c.Patience <= 0 {
+		c.Patience = defaultPatience
+	}
+	if c.MinProbes <= 0 {
+		c.MinProbes = c.Anchors + c.Patience
+	}
+	if c.ExhaustiveBelow <= 0 {
+		c.ExhaustiveBelow = defaultExhaustiveBelow
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RobustTopN <= 0 {
+		c.RobustTopN = defaultRobustTopN
+	}
+	if c.RobustSamples < 0 {
+		c.RobustSamples = defaultRobustSamples
+	}
+	if c.Perturbations == nil {
+		c.Perturbations = DefaultPerturbations()
+	}
+	if c.Scratch == nil {
+		c.Scratch = &sync.Pool{New: func() any { return new(core.IterScratch) }}
+	}
+	return c
+}
+
+// Candidate is one point of the space with its exact simulated makespan.
+type Candidate struct {
+	// K is the reverse-first-k deferral depth.
+	K int
+	// Discipline indexes Space.Disciplines.
+	Discipline int
+	// Makespan is the exact simulated iteration time at this candidate.
+	Makespan time.Duration
+}
+
+// Alternative is one robust-mode schedule with its worst-case score.
+type Alternative struct {
+	Candidate
+	// WorstRegret is the candidate's largest relative regret across the
+	// perturbations: (makespan − best makespan in the pool) / best, under
+	// the perturbation where the candidate looks worst.
+	WorstRegret float64
+}
+
+// Result reports one search.
+type Result struct {
+	// Best is the chosen schedule. In Exact and Guided modes it minimizes
+	// the nominal makespan (ties: lowest discipline index, then lowest k —
+	// the exhaustive scan order); in Robust mode it minimizes worst-case
+	// regret over the perturbations.
+	Best Candidate
+	// Probes is the number of exact simulator probes issued against the
+	// nominal costs (the quantity guided search exists to reduce).
+	Probes int
+	// RobustProbes counts the additional simulations against perturbed cost
+	// vectors (robust mode only).
+	RobustProbes int
+	// Candidates is the size of the space — the probes an exhaustive sweep
+	// would issue.
+	Candidates int
+	// CutoffProven reports that the admissible-bound cutoff certified the
+	// optimum (every unprobed candidate's lower bound exceeded the best
+	// exact makespan), or that the search was exhaustive. When false, the
+	// patience rule stopped the search and optimality is empirical.
+	CutoffProven bool
+	// RankCorrelation is the Spearman correlation between the predictor's
+	// ranking and the measured makespans over the probed candidates
+	// (guided/robust modes; 1 for exhaustive runs, where no predictor ran).
+	RankCorrelation float64
+	// WorstRegret is Best's worst-case regret (robust mode only).
+	WorstRegret float64
+	// Alternatives lists the robust mode's re-scored near-optimal pool,
+	// ordered by ascending worst-case regret (Best first).
+	Alternatives []Alternative
+}
+
+// Search runs one schedule search over the space. It panics on a
+// structurally invalid space (no disciplines, inconsistent cost lengths),
+// mirroring the simulator's contract; every other input yields a result.
+func Search(sp Space, mode Mode, cfg Config) Result {
+	if len(sp.Disciplines) == 0 {
+		panic("plansearch: space has no disciplines")
+	}
+	if sp.Model == nil {
+		panic("plansearch: space has no model")
+	}
+	L := sp.Costs.Layers()
+	if L == 0 || len(sp.Model.Layers) != L {
+		panic(fmt.Sprintf("plansearch: model has %d layers, costs %d", len(sp.Model.Layers), L))
+	}
+	cfg = cfg.withDefaults()
+	st := newState(sp, cfg)
+	switch mode {
+	case Exact:
+		return st.searchExact()
+	case Guided:
+		return st.searchGuided()
+	case Robust:
+		return st.searchRobust()
+	}
+	panic(fmt.Sprintf("plansearch: unknown mode %d", int(mode)))
+}
+
+// state is the working set of one search.
+type state struct {
+	sp  Space
+	cfg Config
+	L   int // layers
+	D   int // disciplines
+	n   int // candidates = L·D
+
+	bounds *kBounds // per-k admissible bounds and feature rows
+
+	measured []time.Duration // by candidate id; valid where probed
+	probed   []bool
+	probes   int
+
+	pred []float64 // predicted makespan ns, by candidate id (guided)
+}
+
+// Candidate ids are d·L + k: discipline-major, matching the exhaustive scan
+// order so id order doubles as the tie-break order.
+func (s *state) id(d, k int) int  { return d*s.L + k }
+func (s *state) dk(id int) (d, k int) { return id / s.L, id % s.L }
+
+func newState(sp Space, cfg Config) *state {
+	L := sp.Costs.Layers()
+	D := len(sp.Disciplines)
+	return &state{
+		sp:       sp,
+		cfg:      cfg,
+		L:        L,
+		D:        D,
+		n:        L * D,
+		bounds:   computeBounds(sp.Costs),
+		measured: make([]time.Duration, L*D),
+		probed:   make([]bool, L*D),
+	}
+}
+
+// probe measures the listed candidate ids exactly, fanning out through
+// parexec. Each task writes a distinct index, so the fan-out is race-free
+// and the stored results are identical at any worker count.
+func (s *state) probe(ids []int) {
+	s.probeCosts(s.sp.Costs, s.measured, ids)
+	for _, id := range ids {
+		s.probed[id] = true
+	}
+	s.probes += len(ids)
+}
+
+// probeCosts simulates the listed candidates under the given cost vector,
+// storing makespans into out (indexed by candidate id).
+func (s *state) probeCosts(costs core.IterCosts, out []time.Duration, ids []int) {
+	parexec.ForEach(len(ids), s.cfg.Workers, func(i int) {
+		d, k := s.dk(ids[i])
+		disc := s.sp.Disciplines[d]
+		sc := s.cfg.Scratch.Get().(*core.IterScratch)
+		order := core.ReverseFirstK(s.sp.Model, k, s.sp.MaxMemoryBytes)
+		r := sc.SimulateIteration(costs, order, disc.Prio, disc.Preemptive)
+		s.cfg.Scratch.Put(sc)
+		out[ids[i]] = r.Makespan
+	})
+}
+
+// better reports whether candidate a beats candidate b: smaller makespan,
+// ties broken by discipline index then k — exactly the winner an exhaustive
+// scan in id order with a strict-less comparison would keep.
+func better(aM time.Duration, aID int, bM time.Duration, bID int) bool {
+	if aM != bM {
+		return aM < bM
+	}
+	return aID < bID
+}
+
+// bestOf scans the probed candidates in id order and returns the winner.
+func (s *state) bestOf() (int, time.Duration) {
+	bestID, bestM := -1, time.Duration(0)
+	for id := 0; id < s.n; id++ {
+		if !s.probed[id] {
+			continue
+		}
+		if bestID < 0 || better(s.measured[id], id, bestM, bestID) {
+			bestID, bestM = id, s.measured[id]
+		}
+	}
+	return bestID, bestM
+}
+
+func (s *state) candidate(id int) Candidate {
+	d, k := s.dk(id)
+	return Candidate{K: k, Discipline: d, Makespan: s.measured[id]}
+}
+
+// searchExact probes the whole space.
+func (s *state) searchExact() Result {
+	ids := make([]int, s.n)
+	for i := range ids {
+		ids[i] = i
+	}
+	s.probe(ids)
+	bestID, _ := s.bestOf()
+	return Result{
+		Best:            s.candidate(bestID),
+		Probes:          s.probes,
+		Candidates:      s.n,
+		CutoffProven:    true,
+		RankCorrelation: 1,
+	}
+}
+
+// searchGuided runs the predictor-guided coarse-to-fine search.
+func (s *state) searchGuided() Result {
+	if s.n <= s.cfg.ExhaustiveBelow {
+		return s.searchExact()
+	}
+
+	// Stage 1: anchor probes + predictor fit, one model per discipline.
+	anchors := s.anchorIDs()
+	s.probe(anchors)
+	s.fitPredictor(anchors)
+
+	// Stage 2: rank the unprobed candidates by predicted makespan (ties by
+	// id) and probe in fixed batches until the bound cutoff proves the
+	// optimum or patience runs out.
+	ranked := s.rankUnprobed()
+	// suffixLB[i] is the smallest admissible lower bound among ranked[i:]:
+	// once it exceeds the best exact makespan, no unprobed candidate can win.
+	suffixLB := make([]time.Duration, len(ranked)+1)
+	suffixLB[len(ranked)] = 1<<63 - 1
+	for i := len(ranked) - 1; i >= 0; i-- {
+		_, k := s.dk(ranked[i])
+		lb := s.bounds.lb[k]
+		if lb < suffixLB[i+1] {
+			suffixLB[i] = lb
+		} else {
+			suffixLB[i] = suffixLB[i+1]
+		}
+	}
+
+	bestID, bestM := s.bestOf()
+	proven := false
+	sinceImprove := 0
+	next := 0
+	for next < len(ranked) {
+		if suffixLB[next] > bestM {
+			proven = true
+			break
+		}
+		if s.probes >= s.cfg.MinProbes && sinceImprove >= s.cfg.Patience {
+			break
+		}
+		end := next + probeBatch
+		if end > len(ranked) {
+			end = len(ranked)
+		}
+		batch := ranked[next:end]
+		s.probe(batch)
+		for _, id := range batch {
+			if better(s.measured[id], id, bestM, bestID) {
+				bestID, bestM = id, s.measured[id]
+				sinceImprove = 0
+			} else {
+				sinceImprove++
+			}
+		}
+		next = end
+	}
+	if next >= len(ranked) {
+		// The whole space is probed — exhaustively optimal by construction.
+		proven = true
+	}
+
+	// Stage 3: ±1 local polish around the incumbent. On piecewise monotone
+	// makespan landscapes this closes the gap a mis-ranked neighbour would
+	// leave; it terminates because each step strictly improves.
+	if !proven {
+		bestID, bestM = s.polish(bestID, bestM)
+	}
+
+	return Result{
+		Best:            s.candidate(bestID),
+		Probes:          s.probes,
+		Candidates:      s.n,
+		CutoffProven:    proven,
+		RankCorrelation: s.rankCorrelation(),
+	}
+}
+
+// anchorIDs returns the evenly spaced anchor candidates of every discipline
+// (always including k = 0 and k = L−1).
+func (s *state) anchorIDs() []int {
+	per := s.cfg.Anchors
+	if per > s.L {
+		per = s.L
+	}
+	ks := make([]int, 0, per)
+	if per == 1 {
+		ks = append(ks, 0)
+	} else {
+		prev := -1
+		for i := 0; i < per; i++ {
+			k := i * (s.L - 1) / (per - 1)
+			if k != prev {
+				ks = append(ks, k)
+				prev = k
+			}
+		}
+	}
+	ids := make([]int, 0, len(ks)*s.D)
+	for d := 0; d < s.D; d++ {
+		for _, k := range ks {
+			ids = append(ids, s.id(d, k))
+		}
+	}
+	return ids
+}
+
+// rankUnprobed returns the unprobed candidate ids ordered by ascending
+// predicted makespan, ties by id. The sort key is fully deterministic.
+func (s *state) rankUnprobed() []int {
+	ids := make([]int, 0, s.n)
+	for id := 0; id < s.n; id++ {
+		if !s.probed[id] {
+			ids = append(ids, id)
+		}
+	}
+	sortByKey(ids, func(a, b int) bool {
+		if s.pred[a] != s.pred[b] {
+			return s.pred[a] < s.pred[b]
+		}
+		return a < b
+	})
+	return ids
+}
+
+// polish walks the incumbent's ±1 neighbourhood (same discipline) until no
+// unprobed neighbour improves on it.
+func (s *state) polish(bestID int, bestM time.Duration) (int, time.Duration) {
+	for {
+		d, k := s.dk(bestID)
+		improved := false
+		for _, nk := range [2]int{k - 1, k + 1} {
+			if nk < 0 || nk >= s.L {
+				continue
+			}
+			id := s.id(d, nk)
+			if !s.probed[id] {
+				s.probe([]int{id})
+			}
+			if better(s.measured[id], id, bestM, bestID) {
+				bestID, bestM = id, s.measured[id]
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return bestID, bestM
+		}
+	}
+}
+
+// sortByKey is an insertion/heap-free deterministic sort wrapper (sort.Slice
+// is not stable, but the less function here is a total order, so the result
+// is unique regardless).
+func sortByKey(ids []int, less func(a, b int) bool) {
+	// Heapsort: in-place, deterministic for a total order, no allocation.
+	n := len(ids)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(ids, i, n, less)
+	}
+	for end := n - 1; end > 0; end-- {
+		ids[0], ids[end] = ids[end], ids[0]
+		siftDown(ids, 0, end, less)
+	}
+}
+
+// siftDown maintains a max-heap under the total order less.
+func siftDown(ids []int, i, n int, less func(a, b int) bool) {
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && less(ids[child], ids[r]) {
+			child = r
+		}
+		if !less(ids[i], ids[child]) {
+			return
+		}
+		ids[i], ids[child] = ids[child], ids[i]
+		i = child
+	}
+}
+
+// Schedule materializes a candidate's backward schedule — the same memory
+// clamp the probes applied.
+func (sp Space) Schedule(c Candidate) graph.BackwardSchedule {
+	return core.ReverseFirstK(sp.Model, c.K, sp.MaxMemoryBytes)
+}

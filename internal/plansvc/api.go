@@ -46,6 +46,12 @@ type PlanRequest struct {
 	// Method is the data-parallel synchronization system (default
 	// "ooo-byteps"): wfbp | horovod | p3 | byteps | ooo-byteps | ooo-horovod.
 	Method string `json:"method,omitempty"`
+	// Search selects the data-parallel schedule-search strategy (default
+	// "guided"): exact (exhaustive sweep, the differential baseline) |
+	// guided (predictor-ranked probing with an admissible-bound cutoff) |
+	// robust (guided plus worst-case scoring under perturbed cost models).
+	// Only valid in datapar mode.
+	Search string `json:"search,omitempty"`
 	// MaxMemoryBytes clamps reverse first-k to schedules whose peak memory
 	// fits (0 = unconstrained).
 	MaxMemoryBytes int64 `json:"max_memory_bytes,omitempty"`
@@ -81,6 +87,13 @@ type ClusterSpec struct {
 	// IntraNode is the intra-node link (same vocabulary).
 	IntraNode string `json:"intra_node,omitempty"`
 }
+
+// Search strategy names (the PlanRequest.Search vocabulary).
+const (
+	SearchExact  = "exact"
+	SearchGuided = "guided"
+	SearchRobust = "robust"
+)
 
 // PlanResponse is the body of a successful POST /v1/plan. It is a pure
 // function of the normalized request — no timestamps, request ids or timing
@@ -118,6 +131,45 @@ type PlanResponse struct {
 	Speedup float64 `json:"speedup"`
 	// ThroughputSPS is global samples/second under the plan.
 	ThroughputSPS float64 `json:"throughput_sps"`
+
+	// Search echoes the schedule-search strategy (data-parallel mode).
+	Search string `json:"search,omitempty"`
+	// SearchStats reports the search effort behind the plan (data-parallel
+	// mode). Deterministic for a given normalized request, so it is safe in
+	// the cached body.
+	SearchStats *SearchStats `json:"search_stats,omitempty"`
+}
+
+// SearchStats reports how a data-parallel plan's schedule search ran.
+type SearchStats struct {
+	// Probes is the number of exact simulator probes issued.
+	Probes int `json:"probes"`
+	// Exhaustive is the probe count an exhaustive sweep would have issued
+	// (the candidate-space size).
+	Exhaustive int `json:"exhaustive"`
+	// Saved is Exhaustive − Probes.
+	Saved int `json:"saved"`
+	// CutoffProven reports that the admissible-bound cutoff certified the
+	// optimum (or the sweep was exhaustive).
+	CutoffProven bool `json:"cutoff_proven"`
+	// RankCorrelation is the predictor's Spearman rank correlation against
+	// the measured makespans (1 for exhaustive sweeps).
+	RankCorrelation float64 `json:"rank_correlation"`
+	// RobustProbes counts the extra perturbed-cost simulations (robust only).
+	RobustProbes int `json:"robust_probes,omitempty"`
+	// WorstRegret is the chosen schedule's worst-case relative regret across
+	// the perturbations (robust only).
+	WorstRegret float64 `json:"worst_regret,omitempty"`
+	// Alternatives lists the robust pool ordered by ascending worst-case
+	// regret, the chosen schedule first (robust only).
+	Alternatives []AltPlan `json:"alternatives,omitempty"`
+}
+
+// AltPlan is one robust-mode alternative schedule.
+type AltPlan struct {
+	K           int     `json:"k"`
+	IterTimeNs  int64   `json:"iter_time_ns"`
+	WorstRegret float64 `json:"worst_regret"`
 }
 
 // ModelSummary identifies the planned model in responses.
@@ -224,10 +276,17 @@ type planSpec struct {
 	MaxGPUs      int    `json:"-"`
 
 	Method         string `json:"method,omitempty"`
+	Search         string `json:"search,omitempty"`
 	MaxMemoryBytes int64  `json:"max_memory_bytes,omitempty"`
 	MicroBatches   int    `json:"micro_batches,omitempty"`
 	Discipline     string `json:"discipline,omitempty"`
 	GroupSize      int    `json:"group_size,omitempty"`
+
+	// CostModel names the fitted cost table re-timing the zoo model (set by
+	// the service when it was started with one; see Options.CostTable). It is
+	// part of the fingerprint: plans against measured costs never collide
+	// with plans against the hand-written defaults.
+	CostModel string `json:"cost_model,omitempty"`
 
 	// What-if perturbation, set only by the /v1/whatif planner on its scaled
 	// inner spec (zero for plain plan requests, so their fingerprints are
@@ -239,6 +298,9 @@ type planSpec struct {
 	// model is the resolved model (built from the zoo or decoded inline);
 	// excluded from the fingerprint (ModelName/ModelDigest stand for it).
 	model *models.Model
+	// retime is the fitted cost table applied to zoo models at resolution
+	// time; excluded from the fingerprint (CostModel stands for it).
+	retime *models.CostTable
 	// deadlineMillis is the requested planning deadline; excluded from the
 	// fingerprint (a deadline changes how long we wait, not the plan).
 	deadlineMillis int64
@@ -337,6 +399,16 @@ func normalize(req *PlanRequest) (*planSpec, error) {
 			return nil, invalidf("max_memory_bytes", "must be ≥ 0")
 		}
 		sp.MaxMemoryBytes = req.MaxMemoryBytes
+		sp.Search = strings.ToLower(strings.TrimSpace(req.Search))
+		if sp.Search == "" {
+			sp.Search = SearchGuided
+		}
+		switch sp.Search {
+		case SearchExact, SearchGuided, SearchRobust:
+		default:
+			return nil, invalidf("search", "unknown search %q (want %s, %s or %s)",
+				req.Search, SearchExact, SearchGuided, SearchRobust)
+		}
 	case ModePipeline:
 		sp.MicroBatches = req.MicroBatches
 		if sp.MicroBatches == 0 {
@@ -359,6 +431,10 @@ func normalize(req *PlanRequest) (*planSpec, error) {
 		if sp.GroupSize < 1 {
 			return nil, invalidf("group_size", "must be ≥ 1, got %d", req.GroupSize)
 		}
+	}
+
+	if sp.Mode != ModeDataPar && strings.TrimSpace(req.Search) != "" {
+		return nil, invalidf("search", "search only applies to %s mode", ModeDataPar)
 	}
 
 	if req.TimeoutMillis < 0 {
@@ -441,6 +517,17 @@ func (sp *planSpec) resolveModel() *models.Model {
 		if err != nil {
 			// The name was validated in normalize.
 			panic(fmt.Errorf("plansvc: zoo model %q: %w", sp.ModelName, err))
+		}
+		if sp.retime != nil {
+			// Re-time the zoo model's layer durations onto the fitted cost
+			// laws (Options.CostTable). Inline specs never take this path —
+			// their times are the caller's own measurements. The table was
+			// checked at service construction, so failure here is a bug, and
+			// safeCompute turns the panic into a typed internal error.
+			m, err = models.Retimed(m, sp.retime)
+			if err != nil {
+				panic(fmt.Errorf("plansvc: retime zoo model %q with table %q: %w", sp.ModelName, sp.retime.Name, err))
+			}
 		}
 		sp.model = m
 	}

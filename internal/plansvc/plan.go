@@ -10,8 +10,16 @@ import (
 	"oooback/internal/graph"
 	"oooback/internal/models"
 	"oooback/internal/pipepar"
+	"oooback/internal/plansearch"
 	"oooback/internal/singlegpu"
 )
+
+// searchModes maps the request vocabulary onto plansearch modes.
+var searchModes = map[string]plansearch.Mode{
+	SearchExact:  plansearch.Exact,
+	SearchGuided: plansearch.Guided,
+	SearchRobust: plansearch.Robust,
+}
 
 // planner computes plans. It holds a pool of warm core.IterScratch state so
 // steady-state planning performs no per-request simulator allocation: the
@@ -78,9 +86,11 @@ func discipline(m datapar.Method) (prio func(int) int, preemptive bool) {
 }
 
 // planDataPar plans one data-parallel iteration: reverse first-k (Algorithm
-// 2) with the §5.1 concave search for k, under the requested synchronization
-// method's cost model and channel discipline. The baseline is the
-// conventional backward order under the same method.
+// 2) under the requested synchronization method's cost model and channel
+// discipline, with the depth k found by the plansearch engine in the
+// requested search mode (exhaustive sweep, predictor-guided pruning, or
+// robust selection under perturbed costs). The baseline is the conventional
+// backward order under the same method.
 func (p *planner) planDataPar(sp *planSpec, resp *PlanResponse) error {
 	m := sp.resolveModel()
 	L := len(m.Layers)
@@ -92,27 +102,45 @@ func (p *planner) planDataPar(sp *planSpec, resp *PlanResponse) error {
 	base := sc.SimulateIteration(costs, graph.Conventional(L), prio, preemptive)
 	p.scratch.Put(sc)
 
-	measure := func(k int) float64 {
-		sc := p.scratch.Get().(*core.IterScratch)
-		defer p.scratch.Put(sc)
-		order := core.ReverseFirstK(m, k, sp.MaxMemoryBytes)
-		r := sc.SimulateIteration(costs, order, prio, preemptive)
-		return core.Throughput(r.Makespan, m.Batch)
+	space := plansearch.Space{
+		Model:          m,
+		Costs:          costs,
+		MaxMemoryBytes: sp.MaxMemoryBytes,
+		Disciplines: []plansearch.Discipline{
+			{Name: sp.Method, Prio: prio, Preemptive: preemptive},
+		},
 	}
-	k := core.SearchKParallel(L, p.searchWorkers, measure)
-	order := core.ReverseFirstK(m, k, sp.MaxMemoryBytes)
+	r := plansearch.Search(space, searchModes[sp.Search], plansearch.Config{
+		Workers: p.searchWorkers,
+		Scratch: &p.scratch,
+	})
+	order := space.Schedule(r.Best)
 
-	sc = p.scratch.Get().(*core.IterScratch)
-	r := sc.SimulateIteration(costs, order, prio, preemptive)
-	p.scratch.Put(sc)
-
-	resp.K = k
+	resp.K = r.Best.K
 	resp.Schedule = scheduleStrings(order)
-	resp.IterTimeNs = int64(r.Makespan)
+	resp.IterTimeNs = int64(r.Best.Makespan)
 	resp.BaselineIterTimeNs = int64(base.Makespan)
 	resp.Baseline = sp.Method + " conventional order"
-	resp.Speedup = speedup(base.Makespan, r.Makespan)
-	resp.ThroughputSPS = core.Throughput(r.Makespan, m.Batch*sp.GPUs)
+	resp.Speedup = speedup(base.Makespan, r.Best.Makespan)
+	resp.ThroughputSPS = core.Throughput(r.Best.Makespan, m.Batch*sp.GPUs)
+	resp.Search = sp.Search
+	st := &SearchStats{
+		Probes:          r.Probes,
+		Exhaustive:      r.Candidates,
+		Saved:           r.Candidates - r.Probes,
+		CutoffProven:    r.CutoffProven,
+		RankCorrelation: r.RankCorrelation,
+		RobustProbes:    r.RobustProbes,
+		WorstRegret:     r.WorstRegret,
+	}
+	for _, a := range r.Alternatives {
+		st.Alternatives = append(st.Alternatives, AltPlan{
+			K:           a.K,
+			IterTimeNs:  int64(a.Makespan),
+			WorstRegret: a.WorstRegret,
+		})
+	}
+	resp.SearchStats = st
 	return nil
 }
 

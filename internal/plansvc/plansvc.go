@@ -21,12 +21,14 @@ package plansvc
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"oooback/internal/models"
 	"oooback/internal/parexec"
 	"oooback/internal/plansvc/cache"
 	"oooback/internal/plansvc/metrics"
@@ -47,6 +49,13 @@ type Options struct {
 	// MaxPlanTime caps the server-side planning deadline; request timeouts
 	// above it are clamped (default 30s).
 	MaxPlanTime time.Duration
+	// CostTable, if non-nil, is a fitted calibration cost table (calib.Fit
+	// output): zoo models are re-timed onto its fitted laws via
+	// models.Retimed before planning, so plans reflect measured rather than
+	// hand-written costs. Inline model specs are never re-timed — their
+	// times are the caller's own measurements. The table must carry the
+	// fwd/dO/dW families (New panics otherwise; see CheckCostTable).
+	CostTable *models.CostTable
 	// Logger receives structured request logs (default: slog.Default).
 	Logger *slog.Logger
 }
@@ -122,6 +131,11 @@ type serviceMetrics struct {
 	cacheLen      *metrics.Gauge
 	planLatency   *metrics.Histogram
 	reqLatency    *metrics.Histogram
+
+	// Schedule-search effort (datapar plans).
+	searchProbes      *metrics.Counter
+	searchProbesSaved *metrics.Counter
+	searchRankCorr    *metrics.Gauge
 }
 
 // cachedPlan is the cache value: the response (*PlanResponse or
@@ -147,9 +161,28 @@ type jobResult struct {
 	err   error
 }
 
-// New constructs a Service and starts its worker pool.
+// CheckCostTable verifies a fitted cost table carries the families zoo-model
+// re-timing needs (fwd, dO, dW). Options.CostTable must pass this check;
+// callers loading tables from disk should run it first for a friendly error.
+func CheckCostTable(t *models.CostTable) error {
+	for _, fam := range []string{"fwd", "dO", "dW"} {
+		if _, err := t.Cost(fam, 1); err != nil {
+			return fmt.Errorf("plansvc: cost table %q cannot re-time zoo models: %w", t.Name, err)
+		}
+	}
+	return nil
+}
+
+// New constructs a Service and starts its worker pool. It panics when
+// Options.CostTable cannot re-time zoo models (see CheckCostTable) — a
+// misconfigured table must fail at startup, not on the first zoo request.
 func New(opts Options) *Service {
 	opts = opts.withDefaults()
+	if opts.CostTable != nil {
+		if err := CheckCostTable(opts.CostTable); err != nil {
+			panic(err)
+		}
+	}
 	s := &Service{
 		opts:    opts,
 		log:     opts.Logger,
@@ -176,6 +209,9 @@ func New(opts Options) *Service {
 	m.cacheLen = s.reg.GaugeFunc("cache_entries", "plans held in the LRU cache", func() int64 { return int64(s.cache.Len()) })
 	m.planLatency = s.reg.Histogram("plan_latency_seconds", "planner compute latency", nil)
 	m.reqLatency = s.reg.Histogram("request_latency_seconds", "end-to-end /v1/plan latency", nil)
+	m.searchProbes = s.reg.Counter("search_probes_total", "exact simulator probes issued by schedule search")
+	m.searchProbesSaved = s.reg.Counter("search_probes_saved_total", "simulator probes avoided versus an exhaustive sweep")
+	m.searchRankCorr = s.reg.Gauge("search_rank_correlation_milli", "predictor Spearman rank correlation of the most recent guided search, in thousandths")
 
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
@@ -235,15 +271,29 @@ func (s *Service) WhatIf(ctx context.Context, req *WhatIfRequest) (*WhatIfRespon
 	return entry.resp.(*WhatIfResponse), nil
 }
 
+// applyCostTable points a normalized zoo-model spec at the service's fitted
+// cost table, before the fingerprint is taken: the table's name enters the
+// fingerprint (sp.CostModel), so re-timed plans never collide with default
+// ones, and resolveModel applies the re-timing lazily on cache misses.
+// Inline specs are untouched.
+func (s *Service) applyCostTable(sp *planSpec) {
+	if s.opts.CostTable != nil && sp.ModelName != "" {
+		sp.retime = s.opts.CostTable
+		sp.CostModel = s.opts.CostTable.Name
+	}
+}
+
 // lookupOrPlan runs the fingerprint → cache → admission → worker path for a
 // plan request.
 func (s *Service) lookupOrPlan(ctx context.Context, sp *planSpec) (*cachedPlan, cache.Outcome, error) {
+	s.applyCostTable(sp)
 	return s.lookupOrCompute(ctx, sp.fingerprint(), sp.deadlineMillis, "plan "+sp.Mode,
 		func() (*cachedPlan, error) { return s.computePlan(sp) })
 }
 
 // lookupOrWhatIf is lookupOrPlan for a what-if request.
 func (s *Service) lookupOrWhatIf(ctx context.Context, ws *whatifSpec) (*cachedPlan, cache.Outcome, error) {
+	s.applyCostTable(ws.Plan)
 	return s.lookupOrCompute(ctx, ws.fingerprint(), ws.Plan.deadlineMillis, "whatif "+ws.Plan.Mode,
 		func() (*cachedPlan, error) { return s.computeWhatIf(ws) })
 }
@@ -387,12 +437,23 @@ func (s *Service) safeCompute(j *job) (entry *cachedPlan, err error) {
 	return j.fn()
 }
 
+// recordSearchStats folds one datapar search's effort into the metrics.
+func (s *Service) recordSearchStats(st *SearchStats) {
+	if st == nil {
+		return
+	}
+	s.met.searchProbes.Add(int64(st.Probes))
+	s.met.searchProbesSaved.Add(int64(st.Saved))
+	s.met.searchRankCorr.Set(int64(st.RankCorrelation * 1000))
+}
+
 // computePlan runs the planner and packages the cache entry for one plan.
 func (s *Service) computePlan(sp *planSpec) (*cachedPlan, error) {
 	resp, err := s.planFn(sp)
 	if err != nil {
 		return nil, err
 	}
+	s.recordSearchStats(resp.SearchStats)
 	body, err := marshalBody(resp)
 	if err != nil {
 		return nil, &APIError{Code: CodeInternal, Message: "response encoding failed"}
@@ -406,6 +467,8 @@ func (s *Service) computeWhatIf(ws *whatifSpec) (*cachedPlan, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.recordSearchStats(resp.Base.SearchStats)
+	s.recordSearchStats(resp.WhatIf.SearchStats)
 	body, err := marshalBody(resp)
 	if err != nil {
 		return nil, &APIError{Code: CodeInternal, Message: "response encoding failed"}
