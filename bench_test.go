@@ -26,6 +26,8 @@ import (
 	"oooback/internal/nn"
 	"oooback/internal/pipepar"
 	"oooback/internal/plansvc"
+	"oooback/internal/plansvc/warmcache"
+	"oooback/internal/shardsvc"
 	"oooback/internal/sim"
 	"oooback/internal/singlegpu"
 	"oooback/internal/tensor"
@@ -383,6 +385,92 @@ func benchPlanColdMiss(b *testing.B, search string) {
 
 func BenchmarkPlanColdMissExact(b *testing.B)  { benchPlanColdMiss(b, plansvc.SearchExact) }
 func BenchmarkPlanColdMissGuided(b *testing.B) { benchPlanColdMiss(b, plansvc.SearchGuided) }
+
+// BenchmarkShardLoadgen drives the closed loop against an in-process 3-shard
+// tier — the sharded sibling of BenchmarkPlanServiceLoadgen. The gap between
+// the two p99s is the routing/proxy overhead of the tier (acceptance bar:
+// within 2×).
+func BenchmarkShardLoadgen(b *testing.B) {
+	tier, err := shardsvc.StartTier(shardsvc.TierOptions{
+		Shards: 3,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(tier.Close)
+	b.ResetTimer()
+	rep, err := plansvc.RunLoad(plansvc.LoadSpec{BaseURLs: tier.URLs(), Clients: 4, Requests: b.N})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if rep.TransportErrors > 0 || rep.StatusCounts["200"] != b.N {
+		b.Fatalf("tier load run failed: %+v", rep)
+	}
+	b.ReportMetric(rep.OpsPerSec, "ops/s")
+	b.ReportMetric(rep.LatencyMsP99, "p99-ms")
+}
+
+// BenchmarkPlanBatch measures the steady-state batch path: 16 items (8
+// distinct specs, each duplicated) answered from the LRU in one PlanBatch
+// call — dedup, singleflight probing, and fan-out, without planner work.
+func BenchmarkPlanBatch(b *testing.B) {
+	svc := plansvc.New(plansvc.Options{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	b.Cleanup(svc.Close)
+	var req plansvc.BatchRequest
+	for i := 0; i < 8; i++ {
+		pr := plansvc.PlanRequest{
+			Model:   "resnet50",
+			Cluster: plansvc.ClusterSpec{Preset: "pub-a", GPUs: 2 + i},
+		}
+		req.Requests = append(req.Requests, pr, pr)
+	}
+	ctx := context.Background()
+	if _, err := svc.PlanBatch(ctx, &req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.PlanBatch(ctx, &req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmRestart prices a warm restart: a fresh service over a
+// populated warm-start cache serves its first request from disk — worker-pool
+// spin-up plus the segment-indexed lookup, zero planner probes.
+func BenchmarkWarmRestart(b *testing.B) {
+	wc, err := warmcache.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { wc.Close() })
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ctx := context.Background()
+	req := &plansvc.PlanRequest{
+		Model:   "resnet50",
+		Cluster: plansvc.ClusterSpec{Preset: "pub-a", GPUs: 16},
+	}
+	seed := plansvc.New(plansvc.Options{Logger: quiet, WarmCache: wc})
+	if _, err := seed.Plan(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	seed.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := plansvc.New(plansvc.Options{Logger: quiet, WarmCache: wc})
+		if _, err := svc.Plan(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		svc.Close()
+	}
+}
 
 // BenchmarkTrainBackward measures real (CPU) backward passes: serial walk vs
 // concurrent executor × conventional vs reverse-first-k schedules, on the

@@ -22,6 +22,8 @@ import (
 	"oooback/internal/models"
 	"oooback/internal/nn"
 	"oooback/internal/plansvc"
+	"oooback/internal/plansvc/warmcache"
+	"oooback/internal/shardsvc"
 	"oooback/internal/sim"
 	"oooback/internal/tensor"
 	"oooback/internal/train"
@@ -41,6 +43,16 @@ type benchResult struct {
 	// simulator probes per planned request. The exact-vs-guided ratio is the
 	// headline saving of the guided schedule search; 0 for other rows.
 	ProbesPerOp float64 `json:"probes_per_op,omitempty"`
+	// P50Ms/P99Ms/P999Ms carry the latency distribution of the closed-loop
+	// load rows (single-node and shard-tier); 0 for other rows. The tier's
+	// warm-hit P99 staying within 2× of the single node's is the sharding
+	// acceptance bar.
+	P50Ms  float64 `json:"p50_ms,omitempty"`
+	P99Ms  float64 `json:"p99_ms,omitempty"`
+	P999Ms float64 `json:"p999_ms,omitempty"`
+	// ColdPlanRate is the load rows' fraction of successful responses that ran
+	// the planner (outcome "computed").
+	ColdPlanRate float64 `json:"cold_plan_rate,omitempty"`
 }
 
 // benchBaseline is the BENCH_BASELINE.json document.
@@ -67,13 +79,17 @@ func runBench(outDir string) error {
 	for _, bm := range benchList() {
 		r := testing.Benchmark(bm.fn)
 		doc.Benchmarks = append(doc.Benchmarks, benchResult{
-			Name:        bm.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			OpsPerSec:   r.Extra["ops/s"],
-			ProbesPerOp: r.Extra["probes/op"],
+			Name:         bm.name,
+			Iterations:   r.N,
+			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:  r.AllocsPerOp(),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			OpsPerSec:    r.Extra["ops/s"],
+			ProbesPerOp:  r.Extra["probes/op"],
+			P50Ms:        r.Extra["p50_ms"],
+			P99Ms:        r.Extra["p99_ms"],
+			P999Ms:       r.Extra["p999_ms"],
+			ColdPlanRate: r.Extra["cold_rate"],
 		})
 		fmt.Fprintf(os.Stderr, "bench %-32s %12.0f ns/op %6d allocs/op\n",
 			bm.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
@@ -96,6 +112,16 @@ func runBench(outDir string) error {
 type namedBench struct {
 	name string
 	fn   func(b *testing.B)
+}
+
+// reportLoad attaches a closed-loop load run's throughput, tail latency, and
+// cold-plan rate to the benchmark row.
+func reportLoad(b *testing.B, rep *plansvc.LoadReport) {
+	b.ReportMetric(rep.OpsPerSec, "ops/s")
+	b.ReportMetric(rep.LatencyMsP50, "p50_ms")
+	b.ReportMetric(rep.LatencyMsP99, "p99_ms")
+	b.ReportMetric(rep.LatencyMsP999, "p999_ms")
+	b.ReportMetric(rep.ColdPlanRate, "cold_rate")
 }
 
 // trainBackwardBench measures one real backward pass: the pooled serial
@@ -332,7 +358,28 @@ func benchList() []namedBench {
 			if rep.TransportErrors > 0 || rep.StatusCounts["200"] != b.N {
 				b.Fatalf("load run failed: %+v", rep)
 			}
-			b.ReportMetric(rep.OpsPerSec, "ops/s")
+			reportLoad(b, rep)
+		}},
+		{"ShardLoadgen3", func(b *testing.B) {
+			tier, err := shardsvc.StartTier(shardsvc.TierOptions{
+				Shards: 3,
+				Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(tier.Close)
+			b.ReportAllocs()
+			b.ResetTimer()
+			rep, err := plansvc.RunLoad(plansvc.LoadSpec{BaseURLs: tier.URLs(), Clients: 4, Requests: b.N})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if rep.TransportErrors > 0 || rep.StatusCounts["200"] != b.N {
+				b.Fatalf("tier load run failed: %+v", rep)
+			}
+			reportLoad(b, rep)
 		}},
 		{"TensorKernelMatMulT", func(b *testing.B) {
 			rng := tensor.NewRNG(1)
@@ -421,6 +468,69 @@ func benchList() []namedBench {
 		}},
 		{"PlanColdMissExact", planColdMissBench(plansvc.SearchExact)},
 		{"PlanColdMissGuided", planColdMissBench(plansvc.SearchGuided)},
+		{"PlanBatch16", func(b *testing.B) {
+			// Steady-state batch fan-out: 8 distinct specs, each duplicated
+			// once, answered from the LRU under a single PlanBatch call. The
+			// row prices the batch path itself (dedup, fan-out, one admission
+			// check), not the planner.
+			svc := plansvc.New(plansvc.Options{
+				Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+			})
+			b.Cleanup(svc.Close)
+			var req plansvc.BatchRequest
+			for i := 0; i < 8; i++ {
+				pr := plansvc.PlanRequest{
+					Model:   "resnet50",
+					Cluster: plansvc.ClusterSpec{Preset: "pub-a", GPUs: 2 + i},
+				}
+				req.Requests = append(req.Requests, pr, pr)
+			}
+			ctx := context.Background()
+			if _, err := svc.PlanBatch(ctx, &req); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := svc.PlanBatch(ctx, &req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.Distinct != 8 || resp.Deduplicated != 8 {
+					b.Fatalf("batch shape: %+v", resp)
+				}
+			}
+		}},
+		{"WarmRestart", func(b *testing.B) {
+			// One warm restart per iteration: a fresh service over a populated
+			// warm-start cache serves its first request as a disk hit — worker
+			// pool spin-up plus segment-indexed lookup, zero planner probes.
+			wc, err := warmcache.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { wc.Close() })
+			quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+			ctx := context.Background()
+			req := &plansvc.PlanRequest{
+				Model:   "resnet50",
+				Cluster: plansvc.ClusterSpec{Preset: "pub-a", GPUs: 16},
+			}
+			seed := plansvc.New(plansvc.Options{Logger: quiet, WarmCache: wc})
+			if _, err := seed.Plan(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			seed.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				svc := plansvc.New(plansvc.Options{Logger: quiet, WarmCache: wc})
+				if _, err := svc.Plan(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+				svc.Close()
+			}
+		}},
 		{"PlanServiceWarmHit", func(b *testing.B) {
 			svc := plansvc.New(plansvc.Options{
 				Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),

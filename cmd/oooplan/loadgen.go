@@ -7,19 +7,24 @@ import (
 	"log/slog"
 	"net"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"oooback/internal/plansvc"
+	"oooback/internal/shardsvc"
 )
 
 // runLoadgen drives a deterministic closed loop against a running service
-// (-addr) or a self-contained in-process one (-inproc) and prints the
-// aggregate report as JSON.
+// (-addr), a self-contained in-process one (-inproc), or an in-process
+// N-shard tier (-shards N). The report prints as a text table with the full
+// latency histogram; -o additionally writes the report JSON to a file.
 func runLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	addr := fs.String("addr", "", "target service base URL (e.g. http://localhost:8080)")
 	inproc := fs.Bool("inproc", false, "spin up an in-process service and load it")
+	shards := fs.Int("shards", 0, "spin up an in-process N-shard tier and load it")
+	chaos := fs.Bool("chaos", false, "kill one shard halfway through the load (requires -shards >= 2)")
 	clients := fs.Int("clients", 4, "concurrent closed-loop clients")
 	requests := fs.Int("requests", 256, "total requests")
 	mode := fs.String("mode", "datapar", "planning mode for the mix")
@@ -27,6 +32,7 @@ func runLoadgen(args []string) error {
 	modelsCSV := fs.String("models", "", "comma-separated model mix (default: full zoo)")
 	gpusCSV := fs.String("gpus", "4,8,16", "comma-separated GPU counts rotated through the mix")
 	timeoutMS := fs.Int64("timeout-ms", 0, "per-request planning deadline (0 = server limit)")
+	outPath := fs.String("o", "", "also write the report JSON to this file")
 	fs.Parse(args)
 
 	spec := plansvc.LoadSpec{
@@ -48,12 +54,22 @@ func runLoadgen(args []string) error {
 		spec.GPUCounts = counts
 	}
 
-	if *inproc {
-		if spec.BaseURL != "" {
-			return fmt.Errorf("-inproc and -addr are mutually exclusive")
+	targets := 0
+	for _, set := range []bool{spec.BaseURL != "", *inproc, *shards > 0} {
+		if set {
+			targets++
 		}
-		// Quiet service logs so the report JSON stays the only stdout output.
-		log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	}
+	if targets != 1 {
+		return fmt.Errorf("exactly one of -addr, -inproc, -shards is required")
+	}
+	if *chaos && *shards < 2 {
+		return fmt.Errorf("-chaos needs -shards >= 2")
+	}
+	// Quiet service logs so stdout carries only the report.
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	switch {
+	case *inproc:
 		svc := plansvc.New(plansvc.Options{Logger: log})
 		defer svc.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -64,18 +80,70 @@ func runLoadgen(args []string) error {
 		go srv.Serve(ln)
 		defer srv.Close()
 		spec.BaseURL = "http://" + ln.Addr().String()
-	}
-	if spec.BaseURL == "" {
-		return fmt.Errorf("one of -addr or -inproc is required")
+	case *shards > 0:
+		tier, err := shardsvc.StartTier(shardsvc.TierOptions{Shards: *shards, Logger: log})
+		if err != nil {
+			return err
+		}
+		defer tier.Close()
+		spec.BaseURLs = tier.URLs()
+		if *chaos {
+			spec.ChaosAfter = *requests / 2
+			spec.ChaosKill = func() { tier.Kill(*shards - 1) }
+		}
 	}
 
 	rep, err := plansvc.RunLoad(spec)
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	printReport(os.Stdout, rep)
+	if *outPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nreport JSON written to %s\n", *outPath)
+	}
+	return nil
+}
+
+// printReport renders the human-readable report: run shape, outcome/route
+// histograms, and the latency distribution table.
+func printReport(w *os.File, rep *plansvc.LoadReport) {
+	fmt.Fprintf(w, "requests        %d (clients %d, shards %d)\n", rep.Requests, rep.Clients, rep.Shards)
+	fmt.Fprintf(w, "duration        %.2fs (%.1f ops/sec)\n", rep.DurationS, rep.OpsPerSec)
+	fmt.Fprintf(w, "success rate    %.4f\n", rep.SuccessRate)
+	fmt.Fprintf(w, "cold-plan rate  %.4f\n", rep.ColdPlanRate)
+	if rep.TransportErrors > 0 || rep.Retries > 0 {
+		fmt.Fprintf(w, "failover        %d retries, %d transport errors\n", rep.Retries, rep.TransportErrors)
+	}
+	fmt.Fprintf(w, "status          %s\n", histLine(rep.StatusCounts))
+	fmt.Fprintf(w, "outcomes        %s\n", histLine(rep.Outcomes))
+	if len(rep.Routes) > 0 {
+		fmt.Fprintf(w, "routes          %s\n", histLine(rep.Routes))
+	}
+	fmt.Fprintf(w, "\nlatency (ms)    p50      p90      p95      p99      p99.9    max\n")
+	fmt.Fprintf(w, "                %-8.2f %-8.2f %-8.2f %-8.2f %-8.2f %-8.2f\n",
+		rep.LatencyMsP50, rep.LatencyMsP90, rep.LatencyMsP95,
+		rep.LatencyMsP99, rep.LatencyMsP999, rep.LatencyMsMax)
+}
+
+// histLine renders a count map as "k:v k:v" sorted by key.
+func histLine(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s:%d", k, m[k])
+	}
+	return strings.Join(parts, " ")
 }
 
 func parseInts(csv string) ([]int, error) {
@@ -86,7 +154,7 @@ func parseInts(csv string) ([]int, error) {
 			return nil, err
 		}
 		if n < 1 {
-			return nil, fmt.Errorf("GPU count must be ≥ 1, got %d", n)
+			return nil, fmt.Errorf("GPU count must be >= 1, got %d", n)
 		}
 		out = append(out, n)
 	}

@@ -20,12 +20,15 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"oooback/internal/calib"
 	"oooback/internal/models"
 	"oooback/internal/plansvc"
+	"oooback/internal/plansvc/warmcache"
+	"oooback/internal/shardsvc"
 )
 
 func main() {
@@ -55,7 +58,8 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   oooplan serve   [-addr :8080] [-workers N] [-queue N] [-cache N] [-calib profile.json] [-grace 10s]
-  oooplan loadgen [-addr URL | -inproc] [-clients N] [-requests N] [-mode datapar]
+                  [-warm-cache DIR] [-shards url1,url2,... -self URL]
+  oooplan loadgen [-addr URL | -inproc | -shards N] [-chaos] [-clients N] [-requests N] [-mode datapar] [-o report.json]
 `)
 }
 
@@ -67,6 +71,9 @@ func runServe(args []string) error {
 	cacheSize := fs.Int("cache", 0, "plan cache entries (0 = default)")
 	calibPath := fs.String("calib", "", "calibration profile JSON (oooexp calib output); zoo models are re-timed onto its fitted cost laws")
 	grace := fs.Duration("grace", 10*time.Second, "drain timeout on shutdown")
+	shardsCSV := fs.String("shards", "", "comma-separated base URLs of the full shard tier (including this node); enables ring routing")
+	self := fs.String("self", "", "this node's base URL as peers reach it (required with -shards)")
+	warmDir := fs.String("warm-cache", "", "persistent warm-start cache directory (created if missing)")
 	fs.Parse(args)
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -77,24 +84,65 @@ func runServe(args []string) error {
 	if table != nil {
 		log.Info("zoo models re-timed from calibration profile", "path", *calibPath, "table", table.Name)
 	}
+	var warm *warmcache.Cache
+	if *warmDir != "" {
+		warm, err = warmcache.Open(*warmDir)
+		if err != nil {
+			return err
+		}
+		defer warm.Close()
+		log.Info("warm-start cache open", "dir", *warmDir, "entries", warm.Len(), "corrupt", warm.Corrupt())
+	}
 	svc := plansvc.New(plansvc.Options{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheSize:  *cacheSize,
 		CostTable:  table,
+		WarmCache:  warm,
 		Logger:     log,
 	})
+
+	handler := svc.Handler()
+	if *shardsCSV != "" {
+		if *self == "" {
+			return fmt.Errorf("-shards requires -self (this node's base URL)")
+		}
+		shard, err := shardsvc.New(shardsvc.Options{
+			Self:    strings.TrimRight(*self, "/"),
+			Peers:   splitTrim(*shardsCSV),
+			Service: svc,
+			Logger:  log,
+		})
+		if err != nil {
+			return err
+		}
+		handler = shard.Handler()
+		log.Info("shard routing enabled", "self", *self, "peers", shard.Ring().Members())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := plansvc.NewHTTPServer(*addr, svc.Handler())
+	srv := plansvc.NewHTTPServer(*addr, handler)
 	log.Info("oooplan serving", "addr", *addr)
 	err = plansvc.Serve(ctx, srv, log, *grace)
 	// Workers drain only after the HTTP server stopped accepting requests,
 	// so no in-flight handler loses its planner.
 	svc.Close()
 	return err
+}
+
+// splitTrim splits a comma-separated URL list, trimming spaces and trailing
+// slashes so ring members compare equal however they were written.
+func splitTrim(csv string) []string {
+	var out []string
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimRight(strings.TrimSpace(f), "/")
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // loadCostTable reads and fits a calibration profile ("" = none).

@@ -1,0 +1,375 @@
+package plansvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"oooback/internal/plansvc/warmcache"
+)
+
+func compactJSON(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, b); err != nil {
+		t.Fatalf("compact: %v\n%s", err, b)
+	}
+	return buf.Bytes()
+}
+
+func batchBody(t *testing.T, reqs ...PlanRequest) string {
+	t.Helper()
+	b, err := json.Marshal(BatchRequest{Requests: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func postBatch(t *testing.T, url, body string) (*http.Response, *BatchResponse, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/plan:batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br BatchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &br); err != nil {
+			t.Fatalf("batch response did not decode: %v\n%s", err, raw)
+		}
+	}
+	return resp, &br, raw
+}
+
+// Duplicate specs inside one batch are planned once; every duplicate gets the
+// byte-identical body, and the whole batch matches what POST /v1/plan serves.
+func TestBatchDeduplicatesWithinBatch(t *testing.T) {
+	svc, srv := newTestService(t, Options{})
+
+	dup := PlanRequest{Model: "ffnn16", Cluster: ClusterSpec{Preset: "pub-a", GPUs: 4}}
+	other := PlanRequest{Model: "resnet50", Cluster: ClusterSpec{Preset: "pub-a", GPUs: 8}}
+	resp, br, raw := postBatch(t, srv.URL, batchBody(t, dup, other, dup, dup))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	if br.Distinct != 2 || br.Deduplicated != 2 {
+		t.Fatalf("distinct = %d, deduplicated = %d; want 2 and 2", br.Distinct, br.Deduplicated)
+	}
+	if n := svc.met.plansComputed.Value(); n != 2 {
+		t.Fatalf("plans computed = %d, want 2 (one per distinct spec)", n)
+	}
+	if len(br.Results) != 4 {
+		t.Fatalf("results = %d items", len(br.Results))
+	}
+	for i, it := range br.Results {
+		if it.Error != nil {
+			t.Fatalf("item %d failed: %+v", i, it.Error)
+		}
+	}
+	for _, i := range []int{2, 3} {
+		if !bytes.Equal(br.Results[i].Plan, br.Results[0].Plan) {
+			t.Fatalf("duplicate item %d body differs from item 0", i)
+		}
+		if br.Results[i].Fingerprint != br.Results[0].Fingerprint {
+			t.Fatalf("duplicate item %d fingerprint differs", i)
+		}
+	}
+	// The batch's plan is the same plan a single request gets. (The HTTP
+	// encoder re-indents embedded RawMessage bodies, so compare canonically.)
+	single, sb := postPlan(t, srv, `{"model":"ffnn16","cluster":{"preset":"pub-a","gpus":4}}`)
+	if single.StatusCode != http.StatusOK {
+		t.Fatalf("single status = %d", single.StatusCode)
+	}
+	if !bytes.Equal(compactJSON(t, sb), compactJSON(t, br.Results[0].Plan)) {
+		t.Fatal("batch plan differs from the single-request plan for the same spec")
+	}
+	if got := single.Header.Get(HeaderOutcome); got != OutcomeHit {
+		t.Fatalf("single after batch outcome = %q, want hit", got)
+	}
+}
+
+// Invalid items fail item-locally; valid siblings still plan.
+func TestBatchPerItemErrors(t *testing.T) {
+	_, srv := newTestService(t, Options{})
+	resp, br, raw := postBatch(t, srv.URL, batchBody(t,
+		PlanRequest{Model: "alexnet"},
+		PlanRequest{Model: "ffnn16", Cluster: ClusterSpec{Preset: "pub-a", GPUs: 4}},
+	))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	if br.Results[0].Error == nil || br.Results[0].Error.Code != CodeUnknownModel {
+		t.Fatalf("item 0 error = %+v, want %s", br.Results[0].Error, CodeUnknownModel)
+	}
+	if br.Results[0].Plan != nil {
+		t.Fatal("failed item must not carry a plan")
+	}
+	if br.Results[1].Error != nil || len(br.Results[1].Plan) == 0 {
+		t.Fatalf("item 1 = %+v, want a plan", br.Results[1])
+	}
+	if br.Distinct != 1 {
+		t.Fatalf("distinct = %d, want 1 (invalid items don't count)", br.Distinct)
+	}
+}
+
+// Batch-level validation: empty and oversized batches are rejected whole.
+func TestBatchValidation(t *testing.T) {
+	_, srv := newTestService(t, Options{})
+	resp, _, raw := postBatch(t, srv.URL, `{"requests":[]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d: %s", resp.StatusCode, raw)
+	}
+	many := make([]PlanRequest, maxBatchItems+1)
+	for i := range many {
+		many[i] = PlanRequest{Model: "ffnn16"}
+	}
+	resp, _, raw = postBatch(t, srv.URL, batchBody(t, many...))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch status = %d: %s", resp.StatusCode, raw)
+	}
+}
+
+// Concurrent identical batches collapse through the shared singleflight: the
+// planner runs once per distinct spec no matter how many batches carry it.
+func TestBatchConcurrentCollapse(t *testing.T) {
+	svc, srv := newTestService(t, Options{})
+	body := batchBody(t,
+		PlanRequest{Model: "ffnn16", Cluster: ClusterSpec{Preset: "pub-a", GPUs: 4}},
+		PlanRequest{Model: "ffnn16", Cluster: ClusterSpec{Preset: "pub-a", GPUs: 8}},
+	)
+	const waves = 6
+	var wg sync.WaitGroup
+	bodies := make([][]json.RawMessage, waves)
+	for w := 0; w < waves; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			resp, br, raw := postBatch(t, srv.URL, body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("wave %d status = %d: %s", w, resp.StatusCode, raw)
+				return
+			}
+			bodies[w] = []json.RawMessage{br.Results[0].Plan, br.Results[1].Plan}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if n := svc.met.plansComputed.Value(); n != 2 {
+		t.Fatalf("plans computed across %d identical batches = %d, want 2", waves, n)
+	}
+	for w := 1; w < waves; w++ {
+		for i := 0; i < 2; i++ {
+			if !bytes.Equal(bodies[w][i], bodies[0][i]) {
+				t.Fatalf("wave %d item %d body differs from wave 0", w, i)
+			}
+		}
+	}
+}
+
+// The whole batch consumes ONE admission slot: with a single worker and the
+// planner parked, a 3-item batch plus one blocking single request fit a
+// queue of depth 1 — three separate singles would have been shed.
+func TestBatchSingleAdmissionSlot(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	svc, srv := newTestService(t, Options{Workers: 1, QueueDepth: 1})
+	orig := svc.planFn
+	svc.planFn = func(sp *planSpec) (*PlanResponse, error) {
+		started <- struct{}{}
+		<-release
+		return orig(sp)
+	}
+
+	// Occupy the only worker with a single request.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postPlan(t, srv, `{"model":"ffnn16","cluster":{"preset":"pub-a","gpus":4}}`)
+	}()
+	<-started
+
+	// The batch (3 distinct specs) occupies the one queue slot as a whole.
+	wg.Add(1)
+	var batchStatus int
+	go func() {
+		defer wg.Done()
+		resp, _, _ := postBatch(t, srv.URL, batchBody(t,
+			PlanRequest{Model: "ffnn16", Cluster: ClusterSpec{Preset: "pub-a", GPUs: 8}},
+			PlanRequest{Model: "ffnn16", Cluster: ClusterSpec{Preset: "pub-a", GPUs: 16}},
+			PlanRequest{Model: "resnet50", Cluster: ClusterSpec{Preset: "pub-a", GPUs: 4}},
+		))
+		batchStatus = resp.StatusCode
+	}()
+
+	// Queue (depth 1) now holds the batch; one more single must shed 429,
+	// proving the 3-item batch did not take 3 slots.
+	waitQueued(t, svc, 1)
+	resp, _ := postPlan(t, srv, `{"model":"resnet50","cluster":{"preset":"pub-a","gpus":8}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow single status = %d, want 429", resp.StatusCode)
+	}
+
+	close(release)
+	wg.Wait()
+	if batchStatus != http.StatusOK {
+		t.Fatalf("batch status = %d, want 200", batchStatus)
+	}
+}
+
+// A service restarted over the same warm-cache dir serves the first duplicate
+// request from disk: outcome "warm", body byte-identical, zero planner work.
+func TestWarmRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"model":"resnet50","cluster":{"preset":"pub-a","gpus":16}}`
+
+	wc1, err := warmcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1, srv1 := newTestService(t, Options{WarmCache: wc1})
+	resp1, b1 := postPlan(t, srv1, body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first boot status = %d", resp1.StatusCode)
+	}
+	if n := svc1.met.warmWrites.Value(); n != 1 {
+		t.Fatalf("warm writes after compute = %d, want 1", n)
+	}
+	srv1.Close()
+	svc1.Close()
+	wc1.Close()
+
+	wc2, err := warmcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc2.Loaded() != 1 {
+		t.Fatalf("reboot loaded %d entries, want 1", wc2.Loaded())
+	}
+	svc2, srv2 := newTestService(t, Options{WarmCache: wc2})
+	resp2, b2 := postPlan(t, srv2, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("restart status = %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get(HeaderOutcome); got != OutcomeWarm {
+		t.Fatalf("restart outcome = %q, want %q", got, OutcomeWarm)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("warm body differs from the originally computed body")
+	}
+	snap := svc2.Metrics().Snapshot()
+	if probes, _ := snap["plansvc_search_probes_total"].(int64); probes != 0 {
+		t.Fatalf("warm restart ran %d search probes, want 0", probes)
+	}
+	if svc2.met.plansComputed.Value() != 0 {
+		t.Fatal("warm restart recomputed the plan")
+	}
+	if svc2.met.warmHits.Value() != 1 {
+		t.Fatalf("warm hits = %d, want 1", svc2.met.warmHits.Value())
+	}
+	// Dedup: serving the warm entry must not append it to disk again.
+	if svc2.met.warmWrites.Value() != 0 {
+		t.Fatalf("warm writes on restart = %d, want 0", svc2.met.warmWrites.Value())
+	}
+}
+
+// A bit-flipped warm segment must not break boot: the corrupt record is
+// skipped, counted in plansvc_warmcache_corrupt_total, and the request is
+// simply replanned.
+func TestWarmCorruptRecordSkippedAtBoot(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"model":"ffnn16","cluster":{"preset":"pub-a","gpus":4}}`
+
+	wc1, err := warmcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1, srv1 := newTestService(t, Options{WarmCache: wc1})
+	if resp, _ := postPlan(t, srv1, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed status = %d", resp.StatusCode)
+	}
+	srv1.Close()
+	svc1.Close()
+	wc1.Close()
+
+	// Flip one byte near the tail of the only segment (inside the last
+	// record's body/CRC region) — the checksum must catch it.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wseg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v (%v)", segs, err)
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-5] ^= 0x40
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	wc2, err := warmcache.Open(dir)
+	if err != nil {
+		t.Fatalf("boot over corrupt segment failed: %v", err)
+	}
+	if wc2.Loaded() != 0 {
+		t.Fatalf("loaded %d entries from a corrupt segment, want 0", wc2.Loaded())
+	}
+	svc2, srv2 := newTestService(t, Options{WarmCache: wc2})
+
+	// The corruption surfaces on /metrics.
+	resp, err := http.Get(srv2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsText, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metricsText), "plansvc_warmcache_corrupt_total 1") {
+		t.Fatalf("metrics missing corrupt counter:\n%s", metricsText)
+	}
+
+	// And the plan is recomputed, not lost.
+	resp2, _ := postPlan(t, srv2, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("replan status = %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get(HeaderOutcome); got != OutcomeComputed {
+		t.Fatalf("replan outcome = %q, want computed", got)
+	}
+	if svc2.met.plansComputed.Value() != 1 {
+		t.Fatal("corrupt warm entry was not replanned")
+	}
+}
+
+// PlanBatch respects the batch deadline: with the planner parked past the
+// timeout, the batch fails with deadline_exceeded rather than hanging.
+func TestBatchDeadline(t *testing.T) {
+	svc, _ := newTestService(t, Options{Workers: 1})
+	block := make(chan struct{})
+	defer close(block)
+	svc.planFn = func(sp *planSpec) (*PlanResponse, error) {
+		<-block
+		return nil, context.DeadlineExceeded
+	}
+	_, err := svc.PlanBatch(context.Background(), &BatchRequest{
+		TimeoutMillis: 50,
+		Requests:      []PlanRequest{{Model: "ffnn16"}},
+	})
+	apiErr := asAPIError(err)
+	if apiErr == nil || apiErr.Code != CodeDeadlineExceeded {
+		t.Fatalf("batch deadline error = %v, want %s", err, CodeDeadlineExceeded)
+	}
+}

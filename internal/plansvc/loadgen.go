@@ -6,19 +6,27 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"oooback/internal/models"
 )
 
 // LoadSpec configures a deterministic closed-loop load against a running
-// service. The request *sequence* is a pure function of the spec — request i
-// always carries the same body — so runs are reproducible and cache behaviour
-// is controlled: a mix with M distinct bodies warms the cache after M
-// requests and then exercises the hit path.
+// service or shard tier. The request *sequence* is a pure function of the
+// spec — request i always carries the same body — so runs are reproducible
+// and cache behaviour is controlled: a mix with M distinct bodies warms the
+// cache after M requests and then exercises the hit path.
 type LoadSpec struct {
-	// BaseURL targets the service ("http://127.0.0.1:8080").
+	// BaseURL targets a single service ("http://127.0.0.1:8080").
 	BaseURL string
+	// BaseURLs targets a shard tier: request i goes to BaseURLs[i mod N], and
+	// a transport failure fails over to the next URL (counted in
+	// LoadReport.Retries) — the client-side re-route a load balancer would
+	// perform when a shard dies. Exactly one of BaseURL and BaseURLs is used;
+	// BaseURLs wins when both are set.
+	BaseURLs []string
 	// Clients is the number of concurrent closed-loop clients (default 4).
 	Clients int
 	// Requests is the total request count (default 256).
@@ -35,6 +43,13 @@ type LoadSpec struct {
 	TimeoutMillis int64
 	// Client overrides the HTTP client (default: pooled, 2 min timeout).
 	Client *http.Client
+
+	// ChaosAfter, when > 0, invokes ChaosKill once after that many requests
+	// have completed — kill a shard mid-load and measure the tier riding
+	// through it.
+	ChaosAfter int
+	// ChaosKill is the chaos action (required when ChaosAfter > 0).
+	ChaosKill func()
 }
 
 func (ls LoadSpec) withDefaults() LoadSpec {
@@ -60,6 +75,17 @@ func (ls LoadSpec) withDefaults() LoadSpec {
 		ls.Client = &http.Client{Timeout: 2 * time.Minute}
 	}
 	return ls
+}
+
+// targets returns the URL rotation of the spec.
+func (ls LoadSpec) targets() []string {
+	if len(ls.BaseURLs) > 0 {
+		return ls.BaseURLs
+	}
+	if ls.BaseURL != "" {
+		return []string{ls.BaseURL}
+	}
+	return nil
 }
 
 // RequestBody returns the canonical JSON body of request i in the sequence.
@@ -95,21 +121,37 @@ func (ls LoadSpec) DistinctBodies(n int) int {
 type LoadReport struct {
 	Requests  int     `json:"requests"`
 	Clients   int     `json:"clients"`
+	Shards    int     `json:"shards"`
 	DurationS float64 `json:"duration_s"`
 	// OpsPerSec is completed requests (any status) per wall second — the
 	// service-level closed-loop throughput.
 	OpsPerSec float64 `json:"ops_per_sec"`
 	// StatusCounts histograms HTTP status codes ("200", "429", ...).
 	StatusCounts map[string]int `json:"status_counts"`
-	// Outcomes histograms the X-Plan-Outcome header (hit/computed/collapsed).
+	// Outcomes histograms the X-Plan-Outcome header
+	// (hit/computed/collapsed/warm).
 	Outcomes map[string]int `json:"outcomes"`
-	// TransportErrors counts requests that failed below HTTP.
+	// Routes histograms the X-Shard-Route header when a shard tier served the
+	// load (local-owner/proxy/peer-cache/reroute-local/...).
+	Routes map[string]int `json:"routes,omitempty"`
+	// TransportErrors counts requests that failed below HTTP on every target
+	// they were offered to.
 	TransportErrors int `json:"transport_errors"`
+	// Retries counts failovers to another shard URL after a transport error.
+	Retries int `json:"retries"`
+	// SuccessRate is 200 responses over total requests.
+	SuccessRate float64 `json:"success_rate"`
+	// ColdPlanRate is the fraction of successful responses that ran the
+	// planner (outcome "computed") — the tier-wide cold-plan cost.
+	ColdPlanRate float64 `json:"cold_plan_rate"`
 
-	LatencyMsP50 float64 `json:"latency_ms_p50"`
-	LatencyMsP95 float64 `json:"latency_ms_p95"`
-	LatencyMsP99 float64 `json:"latency_ms_p99"`
-	LatencyMsMax float64 `json:"latency_ms_max"`
+	// Latency is the full latency distribution over completed requests.
+	LatencyMsP50  float64 `json:"latency_ms_p50"`
+	LatencyMsP90  float64 `json:"latency_ms_p90"`
+	LatencyMsP95  float64 `json:"latency_ms_p95"`
+	LatencyMsP99  float64 `json:"latency_ms_p99"`
+	LatencyMsP999 float64 `json:"latency_ms_p999"`
+	LatencyMsMax  float64 `json:"latency_ms_max"`
 }
 
 // RunLoad drives the closed loop: each client owns the request indices
@@ -118,17 +160,26 @@ type LoadReport struct {
 // deterministic.
 func RunLoad(spec LoadSpec) (*LoadReport, error) {
 	ls := spec.withDefaults()
-	if ls.BaseURL == "" {
-		return nil, fmt.Errorf("plansvc: loadgen needs a BaseURL")
+	urls := ls.targets()
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("plansvc: loadgen needs a BaseURL or BaseURLs")
+	}
+	if ls.ChaosAfter > 0 && ls.ChaosKill == nil {
+		return nil, fmt.Errorf("plansvc: ChaosAfter set without ChaosKill")
 	}
 	n := ls.Requests
 	type slot struct {
 		status  int
 		outcome string
+		route   string
+		retries int
 		latency time.Duration
 		err     error
 	}
 	slots := make([]slot, n)
+
+	var completed atomic.Int64
+	var chaosOnce sync.Once
 
 	start := time.Now()
 	done := make(chan struct{})
@@ -138,15 +189,36 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 			for i := c; i < n; i += ls.Clients {
 				body := ls.RequestBody(i)
 				t0 := time.Now()
-				resp, err := ls.Client.Post(ls.BaseURL+"/v1/plan", "application/json", bytes.NewReader(body))
-				slots[i].latency = time.Since(t0)
-				if err != nil {
-					slots[i].err = err
-					continue
+				// Offer the request to every target starting at its home
+				// shard; a transport error (dead shard) fails over to the
+				// next. HTTP-level errors (4xx/5xx) are final — the tier
+				// answered.
+				var lastErr error
+				for try := 0; try < len(urls); try++ {
+					target := urls[(i+try)%len(urls)]
+					resp, err := ls.Client.Post(target+"/v1/plan", "application/json", bytes.NewReader(body))
+					if err != nil {
+						lastErr = err
+						slots[i].retries++
+						continue
+					}
+					slots[i].status = resp.StatusCode
+					slots[i].outcome = resp.Header.Get(HeaderOutcome)
+					slots[i].route = resp.Header.Get("X-Shard-Route")
+					resp.Body.Close()
+					lastErr = nil
+					break
 				}
-				slots[i].status = resp.StatusCode
-				slots[i].outcome = resp.Header.Get(HeaderOutcome)
-				resp.Body.Close()
+				slots[i].latency = time.Since(t0)
+				if lastErr != nil {
+					slots[i].err = lastErr
+					// The last offer failed too; the final increment above
+					// over-counted the terminal failure as a retry.
+					slots[i].retries--
+				}
+				if ls.ChaosAfter > 0 && completed.Add(1) == int64(ls.ChaosAfter) {
+					chaosOnce.Do(ls.ChaosKill)
+				}
 			}
 		}(c)
 	}
@@ -158,12 +230,14 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 	rep := &LoadReport{
 		Requests:     n,
 		Clients:      ls.Clients,
+		Shards:       len(urls),
 		DurationS:    wall.Seconds(),
 		StatusCounts: map[string]int{},
 		Outcomes:     map[string]int{},
 	}
 	lats := make([]float64, 0, n)
 	for _, s := range slots {
+		rep.Retries += s.retries
 		if s.err != nil {
 			rep.TransportErrors++
 			continue
@@ -172,16 +246,28 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 		if s.outcome != "" {
 			rep.Outcomes[s.outcome]++
 		}
+		if s.route != "" {
+			if rep.Routes == nil {
+				rep.Routes = map[string]int{}
+			}
+			rep.Routes[s.route]++
+		}
 		lats = append(lats, float64(s.latency.Microseconds())/1000)
 	}
 	if wall > 0 {
 		rep.OpsPerSec = float64(n-rep.TransportErrors) / wall.Seconds()
 	}
+	rep.SuccessRate = float64(rep.StatusCounts["200"]) / float64(n)
+	if ok := rep.StatusCounts["200"]; ok > 0 {
+		rep.ColdPlanRate = float64(rep.Outcomes[OutcomeComputed]) / float64(ok)
+	}
 	if len(lats) > 0 {
 		sort.Float64s(lats)
 		rep.LatencyMsP50 = percentile(lats, 0.50)
+		rep.LatencyMsP90 = percentile(lats, 0.90)
 		rep.LatencyMsP95 = percentile(lats, 0.95)
 		rep.LatencyMsP99 = percentile(lats, 0.99)
+		rep.LatencyMsP999 = percentile(lats, 0.999)
 		rep.LatencyMsMax = lats[len(lats)-1]
 	}
 	return rep, nil

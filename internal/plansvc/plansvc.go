@@ -20,7 +20,9 @@
 package plansvc
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"math"
@@ -32,6 +34,7 @@ import (
 	"oooback/internal/parexec"
 	"oooback/internal/plansvc/cache"
 	"oooback/internal/plansvc/metrics"
+	"oooback/internal/plansvc/warmcache"
 )
 
 // Options configures a Service. The zero value means defaults everywhere.
@@ -56,6 +59,13 @@ type Options struct {
 	// times are the caller's own measurements. The table must carry the
 	// fwd/dO/dW families (New panics otherwise; see CheckCostTable).
 	CostTable *models.CostTable
+	// WarmCache, if non-nil, is a persistent warm-start cache (warmcache.Open
+	// output). LRU misses consult it before admission — a disk hit serves the
+	// stored body with zero planner probes — and freshly computed plans are
+	// written behind the LRU so a restarted service boots warm. Plans are
+	// pure functions of their fingerprint, so entries never go stale; the
+	// caller owns the cache's lifetime (Close it after the service).
+	WarmCache *warmcache.Cache
 	// Logger receives structured request logs (default: slog.Default).
 	Logger *slog.Logger
 }
@@ -136,6 +146,50 @@ type serviceMetrics struct {
 	searchProbes      *metrics.Counter
 	searchProbesSaved *metrics.Counter
 	searchRankCorr    *metrics.Gauge
+
+	// Persistent warm-start cache.
+	warmHits    *metrics.Counter
+	warmWrites  *metrics.Counter
+	warmCorrupt *metrics.Counter
+	warmEntries *metrics.Gauge
+
+	// Batch planning.
+	batchRequests *metrics.Counter
+	batchItems    *metrics.Counter
+	batchDeduped  *metrics.Counter
+
+	// Peer cache fills (shard tier pushing proxied bodies into the LRU).
+	peerFills *metrics.Counter
+}
+
+// Outcome values of the HeaderOutcome response header: how a plan body was
+// obtained.
+const (
+	// OutcomeHit: served from the in-memory LRU.
+	OutcomeHit = "hit"
+	// OutcomeComputed: this request ran the planner.
+	OutcomeComputed = "computed"
+	// OutcomeCollapsed: waited on an identical in-flight computation.
+	OutcomeCollapsed = "collapsed"
+	// OutcomeWarm: served from the persistent warm-start cache (disk hit,
+	// zero planner probes).
+	OutcomeWarm = "warm"
+)
+
+// outcomeString folds the LRU outcome and the warm-hit flag into the header
+// vocabulary.
+func outcomeString(oc cache.Outcome, warm bool) string {
+	switch oc {
+	case cache.Hit:
+		return OutcomeHit
+	case cache.Collapsed:
+		return OutcomeCollapsed
+	default:
+		if warm {
+			return OutcomeWarm
+		}
+		return OutcomeComputed
+	}
 }
 
 // cachedPlan is the cache value: the response (*PlanResponse or
@@ -212,6 +266,24 @@ func New(opts Options) *Service {
 	m.searchProbes = s.reg.Counter("search_probes_total", "exact simulator probes issued by schedule search")
 	m.searchProbesSaved = s.reg.Counter("search_probes_saved_total", "simulator probes avoided versus an exhaustive sweep")
 	m.searchRankCorr = s.reg.Gauge("search_rank_correlation_milli", "predictor Spearman rank correlation of the most recent guided search, in thousandths")
+	m.warmHits = s.reg.Counter("warmcache_hits_total", "plan requests served from the persistent warm-start cache")
+	m.warmWrites = s.reg.Counter("warmcache_writes_total", "plan bodies persisted to the warm-start cache")
+	m.warmCorrupt = s.reg.Counter("warmcache_corrupt_total", "warm-start cache records skipped as corrupt or truncated")
+	m.warmEntries = s.reg.GaugeFunc("warmcache_entries", "entries indexed in the persistent warm-start cache", func() int64 {
+		if opts.WarmCache == nil {
+			return 0
+		}
+		return int64(opts.WarmCache.Len())
+	})
+	m.batchRequests = s.reg.Counter("batch_requests_total", "POST /v1/plan:batch requests received")
+	m.batchItems = s.reg.Counter("batch_items_total", "plan items carried by batch requests")
+	m.batchDeduped = s.reg.Counter("batch_deduped_items_total", "batch items answered by another item's computation in the same batch")
+	m.peerFills = s.reg.Counter("peer_fills_total", "plan bodies filled into the LRU from a peer shard's response")
+	if opts.WarmCache != nil {
+		// Boot-time corruption was counted by warmcache.Open before the
+		// registry existed; fold it in once here.
+		m.warmCorrupt.Add(opts.WarmCache.Corrupt())
+	}
 
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
@@ -283,36 +355,92 @@ func (s *Service) applyCostTable(sp *planSpec) {
 	}
 }
 
+// decodeFn rebuilds the typed response from a stored body, so warm-cache and
+// peer-filled entries can serve the programmatic API too.
+type decodeFn func([]byte) (any, error)
+
+func decodePlanBody(body []byte) (any, error) {
+	resp := new(PlanResponse)
+	if err := json.Unmarshal(body, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func decodeWhatIfBody(body []byte) (any, error) {
+	resp := new(WhatIfResponse)
+	if err := json.Unmarshal(body, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
 // lookupOrPlan runs the fingerprint → cache → admission → worker path for a
 // plan request.
-func (s *Service) lookupOrPlan(ctx context.Context, sp *planSpec) (*cachedPlan, cache.Outcome, error) {
+func (s *Service) lookupOrPlan(ctx context.Context, sp *planSpec) (*cachedPlan, string, error) {
 	s.applyCostTable(sp)
 	return s.lookupOrCompute(ctx, sp.fingerprint(), sp.deadlineMillis, "plan "+sp.Mode,
-		func() (*cachedPlan, error) { return s.computePlan(sp) })
+		decodePlanBody, func() (*cachedPlan, error) { return s.computePlan(sp) })
 }
 
 // lookupOrWhatIf is lookupOrPlan for a what-if request.
-func (s *Service) lookupOrWhatIf(ctx context.Context, ws *whatifSpec) (*cachedPlan, cache.Outcome, error) {
+func (s *Service) lookupOrWhatIf(ctx context.Context, ws *whatifSpec) (*cachedPlan, string, error) {
 	s.applyCostTable(ws.Plan)
 	return s.lookupOrCompute(ctx, ws.fingerprint(), ws.Plan.deadlineMillis, "whatif "+ws.Plan.Mode,
-		func() (*cachedPlan, error) { return s.computeWhatIf(ws) })
+		decodeWhatIfBody, func() (*cachedPlan, error) { return s.computeWhatIf(ws) })
 }
 
-// lookupOrCompute runs the shared fingerprint → cache → admission → worker
-// path: cache hits and collapsed waits never reach the queue; misses are
-// computed once by a worker under the request deadline.
-func (s *Service) lookupOrCompute(ctx context.Context, fp string, deadlineMillis int64, label string, fn func() (*cachedPlan, error)) (*cachedPlan, cache.Outcome, error) {
-	// The server-side deadline: the request's timeout clamped to MaxPlanTime.
+// planDeadline clamps a request timeout to the server-side planning limit.
+func (s *Service) planDeadline(deadlineMillis int64) time.Duration {
 	limit := s.opts.MaxPlanTime
 	if ms := deadlineMillis; ms > 0 {
 		if d := time.Duration(ms) * time.Millisecond; d < limit {
 			limit = d
 		}
 	}
-	ctx, cancel := context.WithTimeout(ctx, limit)
+	return limit
+}
+
+// lookupOrCompute runs the shared fingerprint → LRU → warm cache → admission
+// → worker path: LRU hits and collapsed waits never reach the queue; warm
+// disk hits fill the LRU without admission; real misses are computed once by
+// a worker under the request deadline and written behind the LRU to the warm
+// cache.
+func (s *Service) lookupOrCompute(ctx context.Context, fp string, deadlineMillis int64, label string, decode decodeFn, fn func() (*cachedPlan, error)) (*cachedPlan, string, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.planDeadline(deadlineMillis))
 	defer cancel()
-	entry, err, outcome := s.cache.Do(ctx, fp, func() (*cachedPlan, error) {
+	entry, warm, outcome, err := s.cachedDo(ctx, fp, decode, func() (*cachedPlan, error) {
 		return s.execute(ctx, label, fn)
+	})
+	oc := outcomeString(outcome, warm)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.met.deadline.Inc()
+			err = &APIError{Code: CodeDeadlineExceeded, Message: "planning did not complete before the request deadline"}
+		}
+		return nil, oc, err
+	}
+	return entry, oc, nil
+}
+
+// cachedDo wraps run with the LRU/singleflight layer plus the persistent
+// warm-cache fast path: inside the singleflight slot, a warm disk hit decodes
+// the stored body instead of running run; a computed result is persisted
+// behind the LRU. run's admission policy is the caller's: the single-plan
+// path admits inside run, the batch path is already inside its admission
+// slot and passes the raw compute.
+func (s *Service) cachedDo(ctx context.Context, fp string, decode decodeFn, run func() (*cachedPlan, error)) (*cachedPlan, bool, cache.Outcome, error) {
+	var warm bool
+	entry, err, outcome := s.cache.Do(ctx, fp, func() (*cachedPlan, error) {
+		if e := s.warmLookup(fp, decode); e != nil {
+			warm = true
+			return e, nil
+		}
+		e, err := run()
+		if err == nil {
+			s.warmStore(fp, e.body)
+		}
+		return e, err
 	})
 	switch outcome {
 	case cache.Hit:
@@ -320,14 +448,44 @@ func (s *Service) lookupOrCompute(ctx context.Context, fp string, deadlineMillis
 	case cache.Collapsed:
 		s.met.collapsed.Inc()
 	}
-	if err != nil {
-		if ctx.Err() != nil {
-			s.met.deadline.Inc()
-			err = &APIError{Code: CodeDeadlineExceeded, Message: "planning did not complete before the request deadline"}
-		}
-		return nil, outcome, err
+	return entry, warm, outcome, err
+}
+
+// warmLookup serves fp from the persistent warm-start cache, rebuilding the
+// typed response from the stored body. A body that no longer decodes (schema
+// skew across versions) counts as corrupt and falls through to replanning.
+func (s *Service) warmLookup(fp string, decode decodeFn) *cachedPlan {
+	if s.opts.WarmCache == nil {
+		return nil
 	}
-	return entry, outcome, nil
+	body, ok := s.opts.WarmCache.Get(fp)
+	if !ok {
+		return nil
+	}
+	resp, err := decode(body)
+	if err != nil {
+		s.met.warmCorrupt.Inc()
+		s.log.Warn("warm cache body undecodable, replanning", "fingerprint", fp, "err", err)
+		return nil
+	}
+	s.met.warmHits.Inc()
+	return &cachedPlan{resp: resp, body: body, fpHeader: []string{fp}}
+}
+
+// warmStore persists a computed body behind the LRU. Write failures cost
+// only warm restarts, never the request.
+func (s *Service) warmStore(fp string, body []byte) {
+	if s.opts.WarmCache == nil {
+		return
+	}
+	written, err := s.opts.WarmCache.Put(fp, body)
+	if err != nil {
+		s.log.Warn("warm cache write failed", "fingerprint", fp, "err", err)
+		return
+	}
+	if written {
+		s.met.warmWrites.Inc()
+	}
 }
 
 // execute admits the job to the bounded queue and waits for a worker.
@@ -413,28 +571,27 @@ func (s *Service) run(j *job) {
 		return
 	}
 	t0 := time.Now()
-	entry, err := s.safeCompute(j)
+	entry, err := s.safeCompute(j.label, j.fn)
 	d := time.Since(t0)
 	s.met.planLatency.Observe(d.Seconds())
 	s.observePlanLatency(d)
-	if err != nil {
-		s.met.planErrors.Inc()
-	} else {
-		s.met.plansComputed.Inc()
-	}
 	j.done <- jobResult{entry: entry, err: err}
 }
 
-// safeCompute runs a job's compute function under panic recovery.
-func (s *Service) safeCompute(j *job) (entry *cachedPlan, err error) {
+// safeCompute runs a compute function under panic recovery. It is the panic
+// boundary for both the worker loop and the batch path's in-slot plan loop —
+// a malformed corner case can never take the service down, and (crucially for
+// batch) can never leave a singleflight entry permanently in flight.
+func (s *Service) safeCompute(label string, fn func() (*cachedPlan, error)) (entry *cachedPlan, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.met.planPanics.Inc()
-			s.log.Error("plan panic", "job", j.label, "panic", r)
+			s.met.planErrors.Inc()
+			s.log.Error("plan panic", "job", label, "panic", r)
 			entry, err = nil, &APIError{Code: CodeInternal, Message: "planner failure"}
 		}
 	}()
-	return j.fn()
+	return fn()
 }
 
 // recordSearchStats folds one datapar search's effort into the metrics.
@@ -448,16 +605,21 @@ func (s *Service) recordSearchStats(st *SearchStats) {
 }
 
 // computePlan runs the planner and packages the cache entry for one plan.
+// The plansComputed/planErrors counters live here (not in the worker loop) so
+// a batch job computing K plans in one admission slot counts K.
 func (s *Service) computePlan(sp *planSpec) (*cachedPlan, error) {
 	resp, err := s.planFn(sp)
 	if err != nil {
+		s.met.planErrors.Inc()
 		return nil, err
 	}
 	s.recordSearchStats(resp.SearchStats)
 	body, err := marshalBody(resp)
 	if err != nil {
+		s.met.planErrors.Inc()
 		return nil, &APIError{Code: CodeInternal, Message: "response encoding failed"}
 	}
+	s.met.plansComputed.Inc()
 	return &cachedPlan{resp: resp, body: body, fpHeader: []string{resp.Fingerprint}}, nil
 }
 
@@ -465,15 +627,87 @@ func (s *Service) computePlan(sp *planSpec) (*cachedPlan, error) {
 func (s *Service) computeWhatIf(ws *whatifSpec) (*cachedPlan, error) {
 	resp, err := s.planner.whatif(ws)
 	if err != nil {
+		s.met.planErrors.Inc()
 		return nil, err
 	}
 	s.recordSearchStats(resp.Base.SearchStats)
 	s.recordSearchStats(resp.WhatIf.SearchStats)
 	body, err := marshalBody(resp)
 	if err != nil {
+		s.met.planErrors.Inc()
 		return nil, &APIError{Code: CodeInternal, Message: "response encoding failed"}
 	}
+	s.met.plansComputed.Inc()
 	return &cachedPlan{resp: resp, body: body, fpHeader: []string{resp.Fingerprint}}, nil
+}
+
+// Fingerprint returns the canonical cache key of a plan request — the same
+// normalization, cost-table application, and hash the serving path uses. The
+// shard tier routes on it: every node of a homogeneously configured tier
+// computes the same fingerprint for the same body.
+func (s *Service) Fingerprint(req *PlanRequest) (string, error) {
+	sp, err := normalize(req)
+	if err != nil {
+		return "", err
+	}
+	s.applyCostTable(sp)
+	return sp.fingerprint(), nil
+}
+
+// FingerprintWhatIf is Fingerprint for a what-if request.
+func (s *Service) FingerprintWhatIf(req *WhatIfRequest) (string, error) {
+	ws, err := normalizeWhatIf(req)
+	if err != nil {
+		return "", err
+	}
+	s.applyCostTable(ws.Plan)
+	return ws.fingerprint(), nil
+}
+
+// CachedBody returns the serving bytes for fp from the in-memory LRU,
+// marking the entry most recently used. The shard tier uses it to serve
+// peer-filled hot plans without re-entering the request path.
+func (s *Service) CachedBody(fp string) ([]byte, bool) {
+	entry, ok := s.cache.Get(fp)
+	if !ok {
+		return nil, false
+	}
+	return entry.body, true
+}
+
+// FillPlan inserts a peer-fetched /v1/plan response body into the local LRU
+// (and the warm-start cache, when configured), so subsequent requests for fp
+// serve locally. The body must decode to a PlanResponse whose fingerprint
+// matches fp — a peer-fill can never poison the cache with a mismatched body.
+func (s *Service) FillPlan(fp string, body []byte) error {
+	return s.fill(fp, body, decodePlanBody)
+}
+
+// FillWhatIf is FillPlan for /v1/whatif response bodies.
+func (s *Service) FillWhatIf(fp string, body []byte) error {
+	return s.fill(fp, body, decodeWhatIfBody)
+}
+
+func (s *Service) fill(fp string, body []byte, decode decodeFn) error {
+	resp, err := decode(body)
+	if err != nil {
+		return fmt.Errorf("plansvc: fill %s: %w", fp, err)
+	}
+	var gotFP string
+	switch r := resp.(type) {
+	case *PlanResponse:
+		gotFP = r.Fingerprint
+	case *WhatIfResponse:
+		gotFP = r.Fingerprint
+	}
+	if gotFP != fp {
+		return fmt.Errorf("plansvc: fill fingerprint mismatch: body carries %s, want %s", gotFP, fp)
+	}
+	stored := bytes.Clone(body)
+	s.cache.Add(fp, &cachedPlan{resp: resp, body: stored, fpHeader: []string{fp}})
+	s.met.peerFills.Inc()
+	s.warmStore(fp, stored)
+	return nil
 }
 
 // observePlanLatency folds d into the EWMA used by Retry-After.

@@ -12,8 +12,6 @@ import (
 	"strconv"
 	"sync"
 	"time"
-
-	"oooback/internal/plansvc/cache"
 )
 
 // Response headers carrying request-scoped facts that must not live in the
@@ -28,8 +26,9 @@ const (
 
 // Handler returns the service's HTTP handler:
 //
-//	POST /v1/plan     — compute (or fetch) a schedule plan
-//	POST /v1/whatif   — plan under a perturbed cost model (Daydream-style)
+//	POST /v1/plan       — compute (or fetch) a schedule plan
+//	POST /v1/plan:batch — plan many specs under one admission slot
+//	POST /v1/whatif     — plan under a perturbed cost model (Daydream-style)
 //	GET  /v1/models   — list the model zoo
 //	GET  /v1/healthz  — liveness
 //	GET  /metrics     — plaintext metric exposition
@@ -37,10 +36,11 @@ const (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	mux.HandleFunc("POST /v1/plan:batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
 	// The "/" fallback below would otherwise swallow the mux's automatic 405
 	// for wrong-method hits on the POST routes.
-	for _, path := range []string{"/v1/plan", "/v1/whatif"} {
+	for _, path := range []string{"/v1/plan", "/v1/plan:batch", "/v1/whatif"} {
 		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Allow", http.MethodPost)
 			s.writeError(w, http.StatusMethodNotAllowed, &APIError{Code: CodeMethodNotAllowed,
@@ -182,10 +182,11 @@ func (s *Service) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 // Precomputed header value slices for the plan hot path.
 var (
 	headerJSON     = []string{"application/json"}
-	outcomeHeaders = map[cache.Outcome][]string{
-		cache.Hit:       {cache.Hit.String()},
-		cache.Computed:  {cache.Computed.String()},
-		cache.Collapsed: {cache.Collapsed.String()},
+	outcomeHeaders = map[string][]string{
+		OutcomeHit:       {OutcomeHit},
+		OutcomeComputed:  {OutcomeComputed},
+		OutcomeCollapsed: {OutcomeCollapsed},
+		OutcomeWarm:      {OutcomeWarm},
 	}
 )
 

@@ -1,0 +1,230 @@
+package warmcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRoundtripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"fp-a", "fp-b", "fp-c"}
+	for i, k := range keys {
+		body := []byte(fmt.Sprintf(`{"plan":%d}`, i))
+		written, err := c.Put(k, body)
+		if err != nil || !written {
+			t.Fatalf("Put(%q) = %v, %v", k, written, err)
+		}
+	}
+	// Deduplicated re-put.
+	if written, err := c.Put("fp-a", []byte("other")); err != nil || written {
+		t.Fatalf("dup Put = %v, %v, want false, nil", written, err)
+	}
+	if got, ok := c.Get("fp-a"); !ok || !bytes.Equal(got, []byte(`{"plan":0}`)) {
+		t.Fatalf("Get(fp-a) = %q, %v", got, ok)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything loads, appends go to a fresh segment.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Len() != 3 || c2.Loaded() != 3 || c2.Corrupt() != 0 {
+		t.Fatalf("reopen: len=%d loaded=%d corrupt=%d", c2.Len(), c2.Loaded(), c2.Corrupt())
+	}
+	for i, k := range keys {
+		want := []byte(fmt.Sprintf(`{"plan":%d}`, i))
+		if got, ok := c2.Get(k); !ok || !bytes.Equal(got, want) {
+			t.Fatalf("reopen Get(%q) = %q, %v", k, got, ok)
+		}
+	}
+	if _, err := c2.Put("fp-d", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, segGlob))
+	if len(segs) != 2 {
+		t.Fatalf("segments = %v, want 2 (fresh segment per generation)", segs)
+	}
+}
+
+// seedSegment writes entries and returns the single segment path.
+func seedSegment(t testing.TB, dir string, n int) string {
+	t.Helper()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.Put(fmt.Sprintf("key-%02d", i), []byte(fmt.Sprintf("body-%02d-padding-padding", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, segGlob))
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v", segs)
+	}
+	return segs[0]
+}
+
+func TestTruncatedTailSkipped(t *testing.T) {
+	dir := t.TempDir()
+	seg := seedSegment(t, dir, 4)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop into the middle of the last record.
+	if err := os.WriteFile(seg, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (prefix before the torn write)", c.Len())
+	}
+	if c.Corrupt() != 1 {
+		t.Fatalf("corrupt = %d, want 1", c.Corrupt())
+	}
+	if _, ok := c.Get("key-03"); ok {
+		t.Fatal("truncated record must not load")
+	}
+}
+
+func TestBitFlippedRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	seg := seedSegment(t, dir, 4)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit inside the *body* of the second record: past the magic,
+	// first record, and second record's header+key. Record layout per entry:
+	// 8 hdr + 6 key + 22 body + 4 crc = 40 bytes.
+	const recSize = 8 + 6 + 22 + 4
+	off := len(Magic) + recSize + 8 + 6 + 3 // 3 bytes into record 1's body
+	raw[off] ^= 0x10
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (checksum-failing record skipped, later ones kept)", c.Len())
+	}
+	if c.Corrupt() != 1 {
+		t.Fatalf("corrupt = %d, want 1", c.Corrupt())
+	}
+	if _, ok := c.Get("key-01"); ok {
+		t.Fatal("bit-flipped record must not load")
+	}
+	// Records after the flipped one still load: framing survived.
+	for _, k := range []string{"key-00", "key-02", "key-03"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s lost", k)
+		}
+	}
+}
+
+func TestImplausibleLengthStopsSegment(t *testing.T) {
+	dir := t.TempDir()
+	seg := seedSegment(t, dir, 3)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smash record 1's bodyLen field to a huge value: framing is lost from
+	// there, so only record 0 survives.
+	const recSize = 8 + 6 + 22 + 4
+	off := len(Magic) + recSize + 4
+	raw[off], raw[off+1], raw[off+2], raw[off+3] = 0xff, 0xff, 0xff, 0x7f
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Len() != 1 || c.Corrupt() != 1 {
+		t.Fatalf("len=%d corrupt=%d, want 1, 1", c.Len(), c.Corrupt())
+	}
+}
+
+func TestForeignFileIgnored(t *testing.T) {
+	dir := t.TempDir()
+	seedSegment(t, dir, 2)
+	// A garbage file matching the segment glob must not break boot.
+	if err := os.WriteFile(filepath.Join(dir, "seg-99999999.wseg"), []byte("not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Len() != 2 || c.Corrupt() != 1 {
+		t.Fatalf("len=%d corrupt=%d, want 2, 1", c.Len(), c.Corrupt())
+	}
+}
+
+func TestPutAfterCloseFails(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("a", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Put("c", []byte("d")); err == nil {
+		t.Fatal("Put after Close must fail")
+	}
+	// Reads keep working.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("Get after Close must keep working")
+	}
+}
+
+func FuzzLoadSegment(f *testing.F) {
+	dir := f.TempDir()
+	seg := seedSegment(f, dir, 2)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add([]byte(Magic))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := t.TempDir()
+		if err := os.WriteFile(filepath.Join(d, "seg-00000001.wseg"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Boot must never crash, whatever is on disk.
+		c, err := Open(d)
+		if err != nil {
+			t.Fatalf("Open on arbitrary bytes: %v", err)
+		}
+		c.Close()
+	})
+}

@@ -1,0 +1,209 @@
+package shardsvc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testKeys returns n deterministic fingerprint-shaped keys.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x-fingerprint-%d", i*2654435761, i)
+	}
+	return keys
+}
+
+func fourShards() []string {
+	return []string{
+		"http://shard-a:8080",
+		"http://shard-b:8080",
+		"http://shard-c:8080",
+		"http://shard-d:8080",
+	}
+}
+
+// Placement is a pure function of the member *set*: shuffling the input
+// order never moves a key.
+func TestRingDeterministicPlacement(t *testing.T) {
+	members := fourShards()
+	r1, err := NewRing(members, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := append([]string(nil), members...)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r2, err := NewRing(shuffled, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range testKeys(2000) {
+			if r1.Owner(k) != r2.Owner(k) {
+				t.Fatalf("key %q: owner %q vs %q under shuffled membership", k, r1.Owner(k), r2.Owner(k))
+			}
+		}
+	}
+	// Duplicated members collapse to the same ring.
+	r3, err := NewRing(append(members, members...), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(r3.Members()), 4; got != want {
+		t.Fatalf("members after dedup = %d, want %d", got, want)
+	}
+	for _, k := range testKeys(500) {
+		if r1.Owner(k) != r3.Owner(k) {
+			t.Fatalf("dedup changed owner of %q", k)
+		}
+	}
+}
+
+// Balance: with 256 vnodes, every member's key share stays within 15% of the
+// uniform share.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(fourShards(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(100_000)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	mean := float64(len(keys)) / 4
+	for m, c := range counts {
+		dev := (float64(c) - mean) / mean
+		t.Logf("%s: %d keys (%+.2f%% of uniform)", m, c, dev*100)
+		if dev > 0.15 || dev < -0.15 {
+			t.Fatalf("%s owns %d keys, more than 15%% from the uniform %0.f", m, c, mean)
+		}
+	}
+}
+
+// Minimal disruption: when one of 4 shards leaves, (a) every key owned by a
+// survivor keeps its owner — only the leaver's keys move — and (b) the moved
+// fraction is the leaver's share: ~25% ideal, bounded by the 15% balance
+// tolerance (≤ 25% · 1.15).
+func TestRingKeyMovementOnLeave(t *testing.T) {
+	members := fourShards()
+	r, err := NewRing(members, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(40_000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	for _, leaver := range members {
+		shrunk, err := r.Without(leaver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			after := shrunk.Owner(k)
+			if before[k] == leaver {
+				moved++
+				if after == leaver {
+					t.Fatalf("key %q still owned by departed member", k)
+				}
+				continue
+			}
+			if after != before[k] {
+				t.Fatalf("key %q moved %q→%q although its owner survived", k, before[k], after)
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		t.Logf("leaver %s: %.2f%% of keys moved", leaver, frac*100)
+		if frac > 0.25*1.15 {
+			t.Fatalf("leaver %s: %.2f%% of keys moved, want ≤ %.2f%%", leaver, frac*100, 25*1.15)
+		}
+	}
+}
+
+func TestRingOwnersPreferenceOrder(t *testing.T) {
+	r, err := NewRing(fourShards(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(200) {
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%q, 3) = %v", k, owners)
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners[0] = %q, want the owner %q", owners[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%q) repeats %q", k, o)
+			}
+			seen[o] = true
+		}
+	}
+	// Clamped to the member count.
+	if got := r.Owners("k", 99); len(got) != 4 {
+		t.Fatalf("Owners clamped = %d members, want 4", len(got))
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership must fail")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Fatal("empty member name must fail")
+	}
+	r, err := NewRing([]string{"only"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VNodes() != DefaultVNodes {
+		t.Fatalf("vnodes default = %d", r.VNodes())
+	}
+	if _, err := r.Without("only"); err == nil {
+		t.Fatal("removing the last member must fail")
+	}
+	if got := r.Owner("anything"); got != "only" {
+		t.Fatalf("single-member owner = %q", got)
+	}
+}
+
+// FuzzRingOwner: whatever the key bytes, placement is deterministic, the
+// owner is a member, and the preference order starts at the owner.
+func FuzzRingOwner(f *testing.F) {
+	f.Add("plain-fingerprint")
+	f.Add("")
+	f.Add("\x00\xff\x00binary")
+	members := fourShards()
+	r1, err := NewRing(members, 32)
+	if err != nil {
+		f.Fatal(err)
+	}
+	r2, err := NewRing([]string{members[3], members[1], members[0], members[2]}, 32)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := map[string]bool{}
+	for _, m := range members {
+		valid[m] = true
+	}
+	f.Fuzz(func(t *testing.T, key string) {
+		o1 := r1.Owner(key)
+		if !valid[o1] {
+			t.Fatalf("owner %q not a member", o1)
+		}
+		if o2 := r2.Owner(key); o2 != o1 {
+			t.Fatalf("owner differs under shuffled membership: %q vs %q", o1, o2)
+		}
+		owners := r1.Owners(key, 2)
+		if len(owners) != 2 || owners[0] != o1 || owners[1] == o1 {
+			t.Fatalf("Owners(%q, 2) = %v, owner %q", key, owners, o1)
+		}
+	})
+}
