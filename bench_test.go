@@ -25,6 +25,7 @@ import (
 	"oooback/internal/netsim"
 	"oooback/internal/nn"
 	"oooback/internal/pipepar"
+	"oooback/internal/plansearch"
 	"oooback/internal/plansvc"
 	"oooback/internal/plansvc/warmcache"
 	"oooback/internal/shardsvc"
@@ -94,6 +95,31 @@ func BenchmarkReverseFirstK(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.ReverseFirstK(m, 40, 16<<30)
+	}
+}
+
+func BenchmarkMemSchedule(b *testing.B) {
+	m := models.ResNet(models.V100Profile(), 101, 64, models.ImageNet)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MemSchedule(m)
+	}
+}
+
+func BenchmarkParetoSweep(b *testing.B) {
+	m := models.ResNet(models.V100Profile(), 50, 128, models.ImageNet)
+	sp := plansearch.Space{
+		Model: m,
+		Costs: datapar.Costs(m, datapar.PubA(), 16, datapar.OOOBytePS),
+		Disciplines: []plansearch.Discipline{{
+			Name:       datapar.OOOBytePS.String(),
+			Prio:       func(layer int) int { return layer },
+			Preemptive: true,
+		}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plansearch.ParetoSweep(sp, plansearch.Config{})
 	}
 }
 

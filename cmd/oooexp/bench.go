@@ -21,6 +21,7 @@ import (
 	"oooback/internal/graph"
 	"oooback/internal/models"
 	"oooback/internal/nn"
+	"oooback/internal/plansearch"
 	"oooback/internal/plansvc"
 	"oooback/internal/plansvc/warmcache"
 	"oooback/internal/shardsvc"
@@ -337,6 +338,29 @@ func benchList() []namedBench {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				core.ReverseFirstK(m, 40, 16<<30)
+			}
+		}},
+		{"MemSchedule", func(b *testing.B) {
+			m := models.ResNet(models.V100Profile(), 101, 64, models.ImageNet)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.MemSchedule(m)
+			}
+		}},
+		{"ParetoSweep", func(b *testing.B) {
+			m := models.ResNet(models.V100Profile(), 50, 128, models.ImageNet)
+			sp := plansearch.Space{
+				Model: m,
+				Costs: datapar.Costs(m, datapar.PubA(), 16, datapar.OOOBytePS),
+				Disciplines: []plansearch.Discipline{
+					searchDiscipline(datapar.OOOBytePS),
+				},
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plansearch.ParetoSweep(sp, plansearch.Config{})
 			}
 		}},
 		{"PlanServiceLoadgen", func(b *testing.B) {

@@ -26,6 +26,10 @@
 //	                               exhaustive sweep across the model zoo
 //	                               (probes saved, optimality gap, robust
 //	                               picks); with -o DIR, write DIR/search.txt
+//	oooexp pareto                  sweep the joint throughput×peak-memory
+//	                               frontier per zoo model (BFC-replayed
+//	                               fragmented peaks); with -o DIR, write
+//	                               DIR/pareto.txt
 package main
 
 import (
@@ -84,6 +88,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "oooexp: %v\n", err)
 			os.Exit(1)
 		}
+	case "pareto":
+		if err := runPareto(*outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "oooexp: %v\n", err)
+			os.Exit(1)
+		}
 	case "all":
 		runIDs(experiments.IDs(), workers, *outDir)
 	default:
@@ -128,5 +137,5 @@ func runIDs(ids []string, workers int, outDir string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: oooexp [-o dir] [-parallel n] list | all | bench | exec | calib | search | <experiment-id>...")
+	fmt.Fprintln(os.Stderr, "usage: oooexp [-o dir] [-parallel n] list | all | bench | exec | calib | search | pareto | <experiment-id>...")
 }

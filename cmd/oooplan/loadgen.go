@@ -28,6 +28,8 @@ func runLoadgen(args []string) error {
 	clients := fs.Int("clients", 4, "concurrent closed-loop clients")
 	requests := fs.Int("requests", 256, "total requests")
 	mode := fs.String("mode", "datapar", "planning mode for the mix")
+	objective := fs.String("objective", "", "planning objective for every request (time|memory|pareto; empty = server default)")
+	memBudget := fs.Int64("mem-budget", 0, "per-request max_memory_bytes budget (0 = unconstrained)")
 	preset := fs.String("preset", "pub-a", "cluster preset for the mix")
 	modelsCSV := fs.String("models", "", "comma-separated model mix (default: full zoo)")
 	gpusCSV := fs.String("gpus", "4,8,16", "comma-separated GPU counts rotated through the mix")
@@ -36,12 +38,14 @@ func runLoadgen(args []string) error {
 	fs.Parse(args)
 
 	spec := plansvc.LoadSpec{
-		BaseURL:       strings.TrimRight(*addr, "/"),
-		Clients:       *clients,
-		Requests:      *requests,
-		Mode:          *mode,
-		Preset:        *preset,
-		TimeoutMillis: *timeoutMS,
+		BaseURL:        strings.TrimRight(*addr, "/"),
+		Clients:        *clients,
+		Requests:       *requests,
+		Mode:           *mode,
+		Objective:      *objective,
+		MaxMemoryBytes: *memBudget,
+		Preset:         *preset,
+		TimeoutMillis:  *timeoutMS,
 	}
 	if *modelsCSV != "" {
 		spec.Models = strings.Split(*modelsCSV, ",")
@@ -130,6 +134,12 @@ func printReport(w *os.File, rep *plansvc.LoadReport) {
 	fmt.Fprintf(w, "                %-8.2f %-8.2f %-8.2f %-8.2f %-8.2f %-8.2f\n",
 		rep.LatencyMsP50, rep.LatencyMsP90, rep.LatencyMsP95,
 		rep.LatencyMsP99, rep.LatencyMsP999, rep.LatencyMsMax)
+	if rep.PeakMemSamples > 0 {
+		fmt.Fprintf(w, "\npeak mem (MiB)  p50      p90      p99      max      (%d samples)\n", rep.PeakMemSamples)
+		fmt.Fprintf(w, "                %-8.2f %-8.2f %-8.2f %-8.2f\n",
+			float64(rep.PeakMemBytesP50)/(1<<20), float64(rep.PeakMemBytesP90)/(1<<20),
+			float64(rep.PeakMemBytesP99)/(1<<20), float64(rep.PeakMemBytesMax)/(1<<20))
+	}
 }
 
 // histLine renders a count map as "k:v k:v" sorted by key.

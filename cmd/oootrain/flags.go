@@ -18,6 +18,7 @@ type runConfig struct {
 	pipeSched    string
 	partition    string
 	noDWFill     bool
+	memBudget    int64
 }
 
 // validateConfig rejects conflicting or nonsensical flag combinations before
@@ -40,6 +41,14 @@ func validateConfig(cfg runConfig, set map[string]bool, batchN, L int) (train.Pi
 	}
 	if set["k"] && cfg.schedule != "reverse-k" {
 		return 0, 0, fmt.Errorf("-k only applies to -schedule reverse-k, not %q", cfg.schedule)
+	}
+	if set["mem-budget"] {
+		if cfg.memBudget <= 0 {
+			return 0, 0, fmt.Errorf("-mem-budget %d: need a positive byte budget", cfg.memBudget)
+		}
+		if cfg.replicas > 1 || cfg.stages > 1 {
+			return 0, 0, fmt.Errorf("-mem-budget requires a single-process run, not -replicas/-stages")
+		}
 	}
 	if cfg.replicas <= 1 {
 		if set["sync"] {

@@ -20,12 +20,20 @@
 // against the pipepar discrete-event simulator's prediction. -verify compares
 // losses and weights bit for bit against the serial full-batch reference.
 //
+// With -mem-budget B > 0 the run trains under a peak live-byte budget: every
+// activation-checkpoint interval is probed with one throwaway step, the
+// cheapest interval (least recompute) whose ledger peak fits B is chosen, and
+// the run proceeds with train.StepRecompute at that interval. Checkpointed
+// steps are bitwise identical to plain ones, so -verify still compares
+// against the conventional reference bit for bit.
+//
 // Usage:
 //
 //	oootrain -arch cnn -schedule fastforward -steps 20 -opt momentum -verify
 //	oootrain -arch token -schedule reverse-k -k 4 -opt adam
 //	oootrain -arch mlp -replicas 4 -sync layer-priority -verify
 //	oootrain -arch mlp -stages 3 -microbatches 6 -pipe-sched 1f1b -verify
+//	oootrain -arch mlp -mem-budget 250000 -verify
 package main
 
 import (
@@ -60,6 +68,7 @@ func main() {
 		pSched   = flag.String("pipe-sched", "gpipe", "pipeline discipline with -stages: gpipe|1f1b")
 		part     = flag.String("partition", "even", "stage split with -stages: even|balanced (balanced profiles per-layer costs first)")
 		noFill   = flag.Bool("no-dw-fill", false, "disable out-of-order δW bubble filling in the pipeline")
+		memB     = flag.Int64("mem-budget", 0, "peak live-byte budget: picks the cheapest activation-checkpoint interval that fits and trains with recompute")
 	)
 	flag.Parse()
 
@@ -71,6 +80,7 @@ func main() {
 		arch: *arch, schedule: *schedule, k: *k, steps: *steps,
 		replicas: *replicas, stages: *stages, microbatches: *micro,
 		pipeSched: *pSched, partition: *part, noDWFill: *noFill,
+		memBudget: *memB,
 	}, set, len(labels), L)
 	if err != nil {
 		fatal("%v", err)
@@ -87,6 +97,11 @@ func main() {
 
 	if *replicas > 1 {
 		runDataParallel(build, x, labels, sched, *optName, *steps, *replicas, mkSync(*syncName), *buckets, *verify)
+		return
+	}
+
+	if *memB > 0 {
+		runMemBudget(build, x, labels, sched, *optName, *steps, *memB, *verify, L)
 		return
 	}
 

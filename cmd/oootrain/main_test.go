@@ -34,6 +34,7 @@ func TestValidateConfigAccepts(t *testing.T) {
 			[]string{"stages", "pipe-sched", "no-dw-fill"}, 3, train.Pipe1F1B},
 		{"stages balanced partition", func(c *runConfig) { c.stages = 3; c.partition = "balanced" },
 			[]string{"stages", "partition"}, 3, train.PipeGPipe},
+		{"mem budget", func(c *runConfig) { c.memBudget = 1 << 20 }, []string{"mem-budget"}, 0, 0},
 	}
 	for _, tc := range cases {
 		cfg := base()
@@ -86,6 +87,11 @@ func TestValidateConfigRejects(t *testing.T) {
 			[]string{"partition"}, "-partition requires"},
 		{"bad partition", func(c *runConfig) { c.stages = 2; c.partition = "zigzag" },
 			[]string{"stages", "partition"}, "-partition"},
+		{"zero mem budget", func(c *runConfig) { c.memBudget = 0 }, []string{"mem-budget"}, "-mem-budget"},
+		{"mem budget with replicas", func(c *runConfig) { c.memBudget = 1 << 20; c.replicas = 4 },
+			[]string{"mem-budget", "replicas"}, "single-process"},
+		{"mem budget with stages", func(c *runConfig) { c.memBudget = 1 << 20; c.stages = 2 },
+			[]string{"mem-budget", "stages"}, "single-process"},
 	}
 	for _, tc := range cases {
 		cfg := base()

@@ -36,6 +36,7 @@ type Allocator struct {
 	free  freeBins
 
 	used, peak int64
+	footprint  int64
 	allocs     uint64
 }
 
@@ -86,6 +87,9 @@ func (a *Allocator) Alloc(n int64) (int64, error) {
 	a.used += best.size
 	if a.used > a.peak {
 		a.peak = a.used
+	}
+	if end := best.off + best.size; end > a.footprint {
+		a.footprint = end
 	}
 	a.allocs++
 	return best.off, nil

@@ -1,0 +1,122 @@
+package bfc
+
+import "fmt"
+
+// Event is one step of an allocation trace: an alloc or a free of a named
+// tensor. Traces are how schedule planners ask "what would this alloc/free
+// sequence cost through a real BFC arena?" — the fragmented answer, not the
+// logical byte sum.
+type Event struct {
+	// ID names the tensor; the free of an ID matches its most recent alloc.
+	ID int
+	// Bytes is the requested allocation size (alloc events only).
+	Bytes int64
+	// Free marks a free event.
+	Free bool
+}
+
+// ReplayResult reports one trace replayed through an allocator.
+type ReplayResult struct {
+	// Arena is the arena size the replay settled on (the logical peak grown
+	// by doubling until the trace fit).
+	Arena int64
+	// LogicalPeakBytes is the high-water mark of the plain byte sum of live
+	// allocations — what a byte-counter simulator reports.
+	LogicalPeakBytes int64
+	// AlignedPeakBytes is the allocator's high-water mark of bytes in use
+	// after 256-byte alignment (≥ LogicalPeakBytes).
+	AlignedPeakBytes int64
+	// FragPeakBytes is the footprint high-water mark: the largest arena
+	// extent the trace ever occupied, holes included. This is the arena a
+	// fixed-size device allocation would actually need.
+	FragPeakBytes int64
+	// FragRatio is FragPeakBytes / AlignedPeakBytes (≥ 1; 1 when the
+	// allocator packed the trace with no holes at the peak).
+	FragRatio float64
+	// Events is the number of trace events applied.
+	Events int
+	// Final is the allocator snapshot after the last event.
+	Final Stats
+}
+
+// Replay runs a trace through a fresh allocator and reports the fragmented
+// memory profile. The arena starts at the trace's logical peak and doubles on
+// ErrOutOfMemory, so the replay always completes and is deterministic: BFC
+// placement does not depend on the arena size except through OOM, so the
+// first fitting arena yields the canonical footprint.
+//
+// Replay panics on malformed traces (free of a dead ID, double alloc of a
+// live ID, negative size) — traces are machine-generated, so malformation is
+// always a producer bug.
+func Replay(events []Event) ReplayResult {
+	var live, logical, logicalPeak int64
+	liveIDs := make(map[int]int64, 16)
+	for _, ev := range events {
+		if ev.Free {
+			sz, ok := liveIDs[ev.ID]
+			if !ok {
+				panic(fmt.Sprintf("bfc: replay frees dead id %d", ev.ID))
+			}
+			delete(liveIDs, ev.ID)
+			logical -= sz
+			live -= roundUp(sz)
+			continue
+		}
+		if ev.Bytes < 0 {
+			panic(fmt.Sprintf("bfc: replay allocs %d bytes for id %d", ev.Bytes, ev.ID))
+		}
+		if _, ok := liveIDs[ev.ID]; ok {
+			panic(fmt.Sprintf("bfc: replay re-allocs live id %d", ev.ID))
+		}
+		liveIDs[ev.ID] = ev.Bytes
+		logical += ev.Bytes
+		live += roundUp(ev.Bytes)
+		if logical > logicalPeak {
+			logicalPeak = logical
+		}
+	}
+	if len(liveIDs) != 0 {
+		panic(fmt.Sprintf("bfc: replay leaves %d ids live", len(liveIDs)))
+	}
+
+	arena := roundUp(logicalPeak)
+	for {
+		res, ok := tryReplay(events, arena)
+		if ok {
+			res.LogicalPeakBytes = logicalPeak
+			return res
+		}
+		arena *= 2
+	}
+}
+
+// tryReplay applies the trace to an arena of the given size, reporting
+// whether it fit.
+func tryReplay(events []Event, arena int64) (ReplayResult, bool) {
+	a := New(arena)
+	offs := make(map[int]int64, 16)
+	for _, ev := range events {
+		if ev.Free {
+			off := offs[ev.ID]
+			delete(offs, ev.ID)
+			a.Free(off)
+			continue
+		}
+		off, err := a.Alloc(ev.Bytes)
+		if err != nil {
+			return ReplayResult{}, false
+		}
+		offs[ev.ID] = off
+	}
+	res := ReplayResult{
+		Arena:            arena,
+		AlignedPeakBytes: a.Peak(),
+		FragPeakBytes:    a.Footprint(),
+		Events:           len(events),
+		Final:            a.Stats(),
+	}
+	if res.AlignedPeakBytes > 0 {
+		res.FragRatio = float64(res.FragPeakBytes) / float64(res.AlignedPeakBytes)
+	}
+	return res, true
+}

@@ -1,6 +1,10 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+
+	"oooback/internal/models"
+)
 
 // This file is the dependency / ready-set analysis of backward schedules.
 // The concurrent executor in internal/train consumes it: the §2 dependency
@@ -35,6 +39,18 @@ type Analysis struct {
 	// exactly the tensors the plan retains, so the serial walk and the
 	// concurrent one report the same value.
 	PeakLiveGrads int
+
+	// PeakLiveGradBytes is PeakLiveGrads in dtype-sized bytes: the maximum
+	// sum of OutBytes over simultaneously retained gradients. Tensor counts
+	// mislead when layer widths differ by orders of magnitude (an embedding
+	// gradient vs a logit gradient), so budget decisions use this field.
+	// Filled by AnalyzeModel; Analyze without a model leaves it zero.
+	PeakLiveGradBytes int64
+
+	// PeakMemoryBytes is the schedule's overall peak of live bytes —
+	// retained gradients plus stored activations plus the transient δW
+	// workspace, i.e. max(MemoryProfile). Filled by AnalyzeModel.
+	PeakMemoryBytes int64
 
 	// DWLayers lists the layer of every δW op in schedule order — the order a
 	// dispatching executor hands weight-gradient work to its pool.
@@ -95,6 +111,49 @@ func Analyze(L int, s BackwardSchedule) (*Analysis, error) {
 		return nil, fmt.Errorf("graph: analysis left %d gradients live", live)
 	}
 	a.PeakLiveGrads = peak
+	return a, nil
+}
+
+// AnalyzeModel is Analyze with byte-level peak accounting: the schedule is
+// analyzed for m's layer count and the byte fields (PeakLiveGradBytes,
+// PeakMemoryBytes) are filled from the model's dtype-sized tensor sizes.
+// The tensor-count and byte peaks can disagree on *where* the peak is — a
+// retention plan holding many small gradients can be cheaper than one
+// holding two huge ones — which is exactly why the byte fields exist.
+func AnalyzeModel(m *models.Model, s BackwardSchedule) (*Analysis, error) {
+	L := len(m.Layers)
+	a, err := Analyze(L, s)
+	if err != nil {
+		return nil, err
+	}
+	layer := func(i int) models.Layer { return m.Layers[i-1] }
+
+	// Gradient-byte walk, mirroring Analyze's count walk with OutBytes
+	// weights. g_L is live from the start (the loss gradient).
+	doneDO := make([]bool, L+1)
+	doneDW := make([]bool, L+1)
+	live := layer(L).OutBytes
+	peak := live
+	for _, op := range s {
+		i := op.Layer
+		switch op.Kind {
+		case OutGrad:
+			doneDO[i] = true
+			if i > 1 {
+				live += layer(i - 1).OutBytes
+				if live > peak {
+					peak = live
+				}
+			}
+		case WeightGrad:
+			doneDW[i] = true
+		}
+		if doneDO[i] && doneDW[i] {
+			live -= layer(i).OutBytes
+		}
+	}
+	a.PeakLiveGradBytes = peak
+	a.PeakMemoryBytes = PeakMemory(m, s)
 	return a, nil
 }
 

@@ -1,0 +1,86 @@
+package nn
+
+import "oooback/internal/tensor"
+
+// Stasher is the optional interface of layers that are safe under activation
+// checkpointing (train.StepRecompute): the forward pass is a pure function of
+// (input, parameters), so re-running Forward on the original input rebuilds
+// bit-identical backward state, and the state retained between forward and
+// backward can be dropped to free memory. Dropout deliberately does not
+// implement it — each Forward draws fresh values from its generator, so a
+// re-run would change the mask and break the bitwise-identity guarantee.
+type Stasher interface {
+	Layer
+	// DropStash releases the forward state retained for the backward pass
+	// (input references, masks, lowering buffers, normalization statistics).
+	// The layer's next Forward call rebuilds it from scratch.
+	DropStash()
+	// StashBytes reports the footprint of the forward state the layer owns:
+	// buffers Forward allocated for backward's use. The input activation is a
+	// borrowed reference and is NOT counted — its bytes are tracked by the
+	// checkpointing engine's activation ledger, so owned + activations sums
+	// without double counting.
+	StashBytes() int64
+}
+
+// stashTensorBytes sums the byte footprint of owned stash tensors
+// (8 bytes per element, nils skipped).
+func stashTensorBytes(ts ...*tensor.Tensor) int64 {
+	var n int64
+	for _, t := range ts {
+		if t != nil {
+			n += 8 * int64(t.Len())
+		}
+	}
+	return n
+}
+
+// Dense stashes only the borrowed input reference.
+func (d *Dense) DropStash()       { d.x = nil }
+func (d *Dense) StashBytes() int64 { return 0 }
+
+// ReLU owns its elementwise keep mask.
+func (r *ReLU) DropStash()       { r.mask = nil }
+func (r *ReLU) StashBytes() int64 { return int64(len(r.mask)) }
+
+// Conv2D owns the im2col lowering WeightGrad replays; the input is borrowed.
+func (l *Conv2D) DropStash() {
+	l.x = nil
+	l.cols = nil
+}
+func (l *Conv2D) StashBytes() int64 { return stashTensorBytes(l.cols) }
+
+// MaxPool2 owns the argmax index plan.
+func (l *MaxPool2) DropStash()       { l.arg = nil }
+func (l *MaxPool2) StashBytes() int64 { return 8 * int64(len(l.arg)) }
+
+// Flatten retains only the input shape.
+func (l *Flatten) DropStash()       {}
+func (l *Flatten) StashBytes() int64 { return 0 }
+
+// Embedding owns the decoded token-id list.
+func (e *Embedding) DropStash()       { e.ids = nil }
+func (e *Embedding) StashBytes() int64 { return 8 * int64(len(e.ids)) }
+
+// LayerNorm owns the normalized rows and per-row inverse deviations.
+func (l *LayerNorm) DropStash() {
+	l.xhat = nil
+	l.invStd = nil
+}
+func (l *LayerNorm) StashBytes() int64 {
+	return stashTensorBytes(l.xhat) + 8*int64(len(l.invStd))
+}
+
+// MeanPool1D retains only the input row count.
+func (p *MeanPool1D) DropStash()       {}
+func (p *MeanPool1D) StashBytes() int64 { return 0 }
+
+// SelfAttention owns the projections and attention rows; the input is
+// borrowed.
+func (a *SelfAttention) DropStash() {
+	a.x = nil
+	a.q, a.k, a.v, a.attn = nil, nil, nil, nil
+}
+func (a *SelfAttention) StashBytes() int64 {
+	return stashTensorBytes(a.q, a.k, a.v, a.attn)
+}

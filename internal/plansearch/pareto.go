@@ -1,0 +1,242 @@
+// Joint throughput×peak-memory planning: the Pareto sweep evaluates every
+// candidate schedule on both axes — exact simulated makespan and allocator-
+// replayed peak memory — and returns the frontier; the memory search picks
+// the fastest schedule whose *fragmented* peak fits a byte budget.
+//
+// Memory is scored by replaying the schedule's alloc/free trace
+// (graph.TraceAllocs) through a real BFC arena (internal/bfc), so the
+// reported peak includes alignment and fragmentation holes, not just the
+// logical byte sum. The candidate set is the reverse-first-k family plus the
+// LESCEA memory list schedule (core.MemSchedule), which anchors the
+// low-memory end of the frontier.
+package plansearch
+
+import (
+	"time"
+
+	"oooback/internal/bfc"
+	"oooback/internal/core"
+	"oooback/internal/graph"
+	"oooback/internal/models"
+	"oooback/internal/parexec"
+)
+
+// MemStats is the memory footprint of one schedule.
+type MemStats struct {
+	// LogicalPeakBytes is the plain live-byte high-water mark
+	// (graph.PeakMemory's quantity, via the trace).
+	LogicalPeakBytes int64 `json:"logical_peak_bytes"`
+	// AlignedPeakBytes is the peak after 256-byte alignment.
+	AlignedPeakBytes int64 `json:"aligned_peak_bytes"`
+	// FragPeakBytes is the BFC-replayed footprint high-water mark — the
+	// arena a device would actually need, holes included. Budget checks use
+	// this field.
+	FragPeakBytes int64 `json:"frag_peak_bytes"`
+	// FragRatio is FragPeakBytes/AlignedPeakBytes (≥ 1).
+	FragRatio float64 `json:"frag_ratio"`
+}
+
+// MemFootprint replays a schedule's tensor-lifetime trace through a fresh
+// BFC arena and reports the fragmented footprint. Deterministic: the trace
+// and the replay are both pure functions of (model, schedule).
+func MemFootprint(m *models.Model, s graph.BackwardSchedule) MemStats {
+	tr := graph.TraceAllocs(m, s)
+	events := make([]bfc.Event, len(tr.Events))
+	for i, ev := range tr.Events {
+		events[i] = bfc.Event{ID: ev.ID, Bytes: ev.Bytes, Free: ev.Free}
+	}
+	res := bfc.Replay(events)
+	return MemStats{
+		LogicalPeakBytes: res.LogicalPeakBytes,
+		AlignedPeakBytes: res.AlignedPeakBytes,
+		FragPeakBytes:    res.FragPeakBytes,
+		FragRatio:        res.FragRatio,
+	}
+}
+
+// MemPoint is one candidate of the joint sweep.
+type MemPoint struct {
+	// K is the reverse-first-k depth; −1 when MemSched.
+	K int `json:"k"`
+	// MemSched marks the LESCEA memory list schedule.
+	MemSched bool `json:"mem_sched,omitempty"`
+	// Discipline indexes Space.Disciplines.
+	Discipline int `json:"discipline"`
+	// Makespan is the exact simulated iteration time.
+	Makespan time.Duration `json:"makespan_ns"`
+	// Mem is the schedule's replayed memory footprint.
+	Mem MemStats `json:"mem"`
+}
+
+// ParetoResult reports one joint sweep.
+type ParetoResult struct {
+	// Frontier is the Pareto set in ascending makespan order: each point's
+	// FragPeakBytes is strictly below every faster point's. The first entry
+	// is the time optimum, the last the memory optimum.
+	Frontier []MemPoint
+	// Points is every evaluated candidate, in candidate-id order
+	// (discipline-major, k ascending, the memory schedule last).
+	Points []MemPoint
+	// Probes is the number of exact simulator probes issued.
+	Probes int
+}
+
+// memSpace enumerates the sweep candidates: per discipline, every depth
+// k ∈ [0, L) plus the memory list schedule. Schedules are NOT clamped by
+// Space.MaxMemoryBytes — the sweep's whole point is to expose the memory
+// axis; budget filtering happens in MemorySearch.
+type memSpace struct {
+	sp   Space
+	L, D int
+	// schedules holds the L+1 distinct schedules (shared across
+	// disciplines): index k for reverse-first-k, index L for MemSchedule.
+	schedules []graph.BackwardSchedule
+	mem       []MemStats
+}
+
+func newMemSpace(sp Space, cfg Config) *memSpace {
+	L := sp.Costs.Layers()
+	ms := &memSpace{sp: sp, L: L, D: len(sp.Disciplines)}
+	ms.schedules = make([]graph.BackwardSchedule, L+1)
+	for k := 0; k < L; k++ {
+		ms.schedules[k] = core.ReverseFirstK(sp.Model, k, 0)
+	}
+	ms.schedules[L] = core.MemSchedule(sp.Model)
+	// Memory is a property of the schedule alone; replay each distinct
+	// schedule once, fanned out (each task writes its own slot).
+	ms.mem = make([]MemStats, L+1)
+	parexec.ForEach(L+1, cfg.Workers, func(k int) {
+		ms.mem[k] = MemFootprint(sp.Model, ms.schedules[k])
+	})
+	return ms
+}
+
+// points simulates every candidate and returns them in candidate-id order.
+func (ms *memSpace) points(cfg Config) []MemPoint {
+	n := ms.D * (ms.L + 1)
+	makespans := make([]time.Duration, n)
+	parexec.ForEach(n, cfg.Workers, func(id int) {
+		d, k := id/(ms.L+1), id%(ms.L+1)
+		disc := ms.sp.Disciplines[d]
+		sc := cfg.Scratch.Get().(*core.IterScratch)
+		r := sc.SimulateIteration(ms.sp.Costs, ms.schedules[k], disc.Prio, disc.Preemptive)
+		cfg.Scratch.Put(sc)
+		makespans[id] = r.Makespan
+	})
+	pts := make([]MemPoint, n)
+	for id := 0; id < n; id++ {
+		d, k := id/(ms.L+1), id%(ms.L+1)
+		p := MemPoint{K: k, Discipline: d, Makespan: makespans[id], Mem: ms.mem[k]}
+		if k == ms.L {
+			p.K, p.MemSched = -1, true
+		}
+		pts[id] = p
+	}
+	return pts
+}
+
+// ParetoSweep evaluates the full (k × discipline) grid plus the memory list
+// schedule on both objectives and extracts the Pareto frontier. The result
+// is bit-identical at any Config.Workers / GOMAXPROCS: candidates land in
+// fixed slots and the frontier scan is serial over a total order.
+func ParetoSweep(sp Space, cfg Config) ParetoResult {
+	validateSpace(sp)
+	cfg = cfg.withDefaults()
+	ms := newMemSpace(sp, cfg)
+	pts := ms.points(cfg)
+
+	// Frontier: sort by (makespan, frag peak, id) and keep the strictly
+	// improving memory prefix.
+	ids := make([]int, len(pts))
+	for i := range ids {
+		ids[i] = i
+	}
+	sortByKey(ids, func(a, b int) bool {
+		if pts[a].Makespan != pts[b].Makespan {
+			return pts[a].Makespan < pts[b].Makespan
+		}
+		if pts[a].Mem.FragPeakBytes != pts[b].Mem.FragPeakBytes {
+			return pts[a].Mem.FragPeakBytes < pts[b].Mem.FragPeakBytes
+		}
+		return a < b
+	})
+	var frontier []MemPoint
+	for _, id := range ids {
+		if len(frontier) == 0 ||
+			pts[id].Mem.FragPeakBytes < frontier[len(frontier)-1].Mem.FragPeakBytes {
+			frontier = append(frontier, pts[id])
+		}
+	}
+	return ParetoResult{Frontier: frontier, Points: pts, Probes: len(pts)}
+}
+
+// MemResult reports one budget-constrained memory search.
+type MemResult struct {
+	// Best is the fastest candidate whose fragmented peak fits the budget;
+	// when none fits (Feasible false), the candidate with the smallest
+	// fragmented peak — the least-infeasible schedule.
+	Best MemPoint
+	// Feasible reports whether any candidate fit the budget.
+	Feasible bool
+	// MinFragPeakBytes is the smallest fragmented peak across the space —
+	// the tightest budget this model can meet at all.
+	MinFragPeakBytes int64
+	// Probes is the number of exact simulator probes issued.
+	Probes int
+	// Candidates is the size of the space.
+	Candidates int
+}
+
+// MemorySearch finds the minimum-makespan schedule whose BFC-replayed
+// fragmented peak fits maxMemoryBytes (≤ 0 = unconstrained). Ties break by
+// candidate id, matching the exhaustive scan order. Deterministic at any
+// worker count.
+func MemorySearch(sp Space, maxMemoryBytes int64, cfg Config) MemResult {
+	validateSpace(sp)
+	cfg = cfg.withDefaults()
+	ms := newMemSpace(sp, cfg)
+	pts := ms.points(cfg)
+
+	res := MemResult{Probes: len(pts), Candidates: len(pts)}
+	bestFit, minMem := -1, -1
+	for id, p := range pts {
+		if minMem < 0 || p.Mem.FragPeakBytes < pts[minMem].Mem.FragPeakBytes {
+			minMem = id
+		}
+		if maxMemoryBytes > 0 && p.Mem.FragPeakBytes > maxMemoryBytes {
+			continue
+		}
+		if bestFit < 0 || p.Makespan < pts[bestFit].Makespan {
+			bestFit = id
+		}
+	}
+	res.MinFragPeakBytes = pts[minMem].Mem.FragPeakBytes
+	if bestFit >= 0 {
+		res.Best, res.Feasible = pts[bestFit], true
+	} else {
+		res.Best = pts[minMem]
+	}
+	return res
+}
+
+// MemPointSchedule materializes a sweep candidate's backward schedule.
+func (sp Space) MemPointSchedule(p MemPoint) graph.BackwardSchedule {
+	if p.MemSched {
+		return core.MemSchedule(sp.Model)
+	}
+	return core.ReverseFirstK(sp.Model, p.K, 0)
+}
+
+// validateSpace applies Search's structural checks.
+func validateSpace(sp Space) {
+	if len(sp.Disciplines) == 0 {
+		panic("plansearch: space has no disciplines")
+	}
+	if sp.Model == nil {
+		panic("plansearch: space has no model")
+	}
+	L := sp.Costs.Layers()
+	if L == 0 || len(sp.Model.Layers) != L {
+		panic("plansearch: model and costs disagree on layer count")
+	}
+}

@@ -52,9 +52,18 @@ type PlanRequest struct {
 	// robust (guided plus worst-case scoring under perturbed cost models).
 	// Only valid in datapar mode.
 	Search string `json:"search,omitempty"`
-	// MaxMemoryBytes clamps reverse first-k to schedules whose peak memory
-	// fits (0 = unconstrained).
+	// MaxMemoryBytes is the peak-memory budget in bytes (0 = unconstrained).
+	// Under objective "time" it clamps reverse first-k to schedules whose
+	// logical peak fits; under "memory" it is the hard budget the chosen
+	// schedule's BFC-replayed fragmented peak must respect; under "pareto"
+	// it selects the fastest frontier point that fits (0 = the time optimum).
 	MaxMemoryBytes int64 `json:"max_memory_bytes,omitempty"`
+	// Objective selects the data-parallel planning objective (default
+	// "time"): time (minimize iteration time, the existing planner) |
+	// memory (fastest schedule whose fragmented peak fits max_memory_bytes)
+	// | pareto (sweep the joint throughput×memory frontier and return it).
+	// Only valid in datapar mode.
+	Objective string `json:"objective,omitempty"`
 
 	// MicroBatches per mini-batch for pipeline mode (default 4).
 	MicroBatches int `json:"micro_batches,omitempty"`
@@ -93,6 +102,13 @@ const (
 	SearchExact  = "exact"
 	SearchGuided = "guided"
 	SearchRobust = "robust"
+)
+
+// Planning objective names (the PlanRequest.Objective vocabulary).
+const (
+	ObjectiveTime   = "time"
+	ObjectiveMemory = "memory"
+	ObjectivePareto = "pareto"
 )
 
 // PlanResponse is the body of a successful POST /v1/plan. It is a pure
@@ -138,6 +154,54 @@ type PlanResponse struct {
 	// mode). Deterministic for a given normalized request, so it is safe in
 	// the cached body.
 	SearchStats *SearchStats `json:"search_stats,omitempty"`
+
+	// Objective echoes the normalized planning objective (data-parallel
+	// mode). When it is "memory" or the memory list schedule won, K is −1
+	// and Memory.Scheduler names the winning scheduler family.
+	Objective string `json:"objective,omitempty"`
+	// Memory reports the chosen schedule's memory footprint (data-parallel
+	// mode). Deterministic — the BFC replay is a pure function of the
+	// schedule — so it is safe in the cached body.
+	Memory *MemoryStats `json:"memory,omitempty"`
+	// Pareto is the joint throughput×memory frontier in ascending iteration
+	// time (objective=pareto only). The first point is the time optimum,
+	// the last the memory optimum.
+	Pareto []ParetoPoint `json:"pareto,omitempty"`
+}
+
+// MemoryStats reports a schedule's memory footprint: the logical live-byte
+// peak and the fragmented peak from replaying the schedule's alloc/free
+// trace through a BFC arena.
+type MemoryStats struct {
+	// PeakMemoryBytes is the headline number: the BFC-replayed fragmented
+	// footprint high-water mark — the arena the schedule actually needs,
+	// alignment and holes included.
+	PeakMemoryBytes int64 `json:"peak_memory_bytes"`
+	// LogicalPeakBytes is the plain live-byte high-water mark.
+	LogicalPeakBytes int64 `json:"logical_peak_bytes"`
+	// FragRatio is PeakMemoryBytes over the aligned in-use peak (≥ 1).
+	FragRatio float64 `json:"frag_ratio"`
+	// Scheduler names the winning schedule family: "reverse-first-k" or
+	// "mem-list" (the LESCEA peak-memory list scheduler).
+	Scheduler string `json:"scheduler,omitempty"`
+	// BudgetBytes echoes the request's max_memory_bytes when one was set.
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
+}
+
+// ParetoPoint is one frontier point of an objective=pareto plan.
+type ParetoPoint struct {
+	// K is the reverse-first-k depth; −1 for the memory list schedule.
+	K int `json:"k"`
+	// MemSched marks the memory list schedule.
+	MemSched bool `json:"mem_sched,omitempty"`
+	// IterTimeNs is the point's simulated iteration time.
+	IterTimeNs int64 `json:"iter_time_ns"`
+	// PeakMemoryBytes is the point's BFC-replayed fragmented peak.
+	PeakMemoryBytes int64 `json:"peak_memory_bytes"`
+	// LogicalPeakBytes is the point's logical live-byte peak.
+	LogicalPeakBytes int64 `json:"logical_peak_bytes"`
+	// FragRatio is the point's fragmentation ratio (≥ 1).
+	FragRatio float64 `json:"frag_ratio"`
 }
 
 // SearchStats reports how a data-parallel plan's schedule search ran.
@@ -275,8 +339,12 @@ type planSpec struct {
 	IntraNode    string `json:"intra_node"`
 	MaxGPUs      int    `json:"-"`
 
-	Method         string `json:"method,omitempty"`
-	Search         string `json:"search,omitempty"`
+	Method string `json:"method,omitempty"`
+	Search string `json:"search,omitempty"`
+	// Objective is "" for the default time objective — the zero value keeps
+	// pre-objective requests' fingerprints (and warm caches) stable —
+	// "memory" or "pareto" otherwise.
+	Objective      string `json:"objective,omitempty"`
 	MaxMemoryBytes int64  `json:"max_memory_bytes,omitempty"`
 	MicroBatches   int    `json:"micro_batches,omitempty"`
 	Discipline     string `json:"discipline,omitempty"`
@@ -399,6 +467,23 @@ func normalize(req *PlanRequest) (*planSpec, error) {
 			return nil, invalidf("max_memory_bytes", "must be ≥ 0")
 		}
 		sp.MaxMemoryBytes = req.MaxMemoryBytes
+		switch obj := strings.ToLower(strings.TrimSpace(req.Objective)); obj {
+		case "", ObjectiveTime:
+			// The default objective fingerprints as "" so pre-objective
+			// requests keep their cache keys.
+			sp.Objective = ""
+		case ObjectiveMemory:
+			if sp.MaxMemoryBytes <= 0 {
+				return nil, invalidf("max_memory_bytes",
+					"objective %q needs a positive max_memory_bytes budget", ObjectiveMemory)
+			}
+			sp.Objective = ObjectiveMemory
+		case ObjectivePareto:
+			sp.Objective = ObjectivePareto
+		default:
+			return nil, invalidf("objective", "unknown objective %q (want %s, %s or %s)",
+				req.Objective, ObjectiveTime, ObjectiveMemory, ObjectivePareto)
+		}
 		sp.Search = strings.ToLower(strings.TrimSpace(req.Search))
 		if sp.Search == "" {
 			sp.Search = SearchGuided
@@ -435,6 +520,9 @@ func normalize(req *PlanRequest) (*planSpec, error) {
 
 	if sp.Mode != ModeDataPar && strings.TrimSpace(req.Search) != "" {
 		return nil, invalidf("search", "search only applies to %s mode", ModeDataPar)
+	}
+	if sp.Mode != ModeDataPar && strings.TrimSpace(req.Objective) != "" {
+		return nil, invalidf("objective", "objective only applies to %s mode", ModeDataPar)
 	}
 
 	if req.TimeoutMillis < 0 {

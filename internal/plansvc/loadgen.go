@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -39,6 +40,11 @@ type LoadSpec struct {
 	Preset string
 	// Mode is the planning mode (default ModeDataPar).
 	Mode string
+	// Objective is the planning objective carried by every request
+	// ("" = server default "time"; "memory" requires MaxMemoryBytes).
+	Objective string
+	// MaxMemoryBytes is the per-request memory budget (0 = unconstrained).
+	MaxMemoryBytes int64
 	// TimeoutMillis is the per-request planning deadline (0 = server limit).
 	TimeoutMillis int64
 	// Client overrides the HTTP client (default: pooled, 2 min timeout).
@@ -94,10 +100,12 @@ func (ls LoadSpec) RequestBody(i int) []byte {
 	model := ls.Models[i%len(ls.Models)]
 	gpus := ls.GPUCounts[(i/len(ls.Models))%len(ls.GPUCounts)]
 	req := PlanRequest{
-		Model:         model,
-		Mode:          ls.Mode,
-		TimeoutMillis: ls.TimeoutMillis,
-		Cluster:       ClusterSpec{Preset: ls.Preset, GPUs: gpus},
+		Model:          model,
+		Mode:           ls.Mode,
+		Objective:      ls.Objective,
+		MaxMemoryBytes: ls.MaxMemoryBytes,
+		TimeoutMillis:  ls.TimeoutMillis,
+		Cluster:        ClusterSpec{Preset: ls.Preset, GPUs: gpus},
 	}
 	b, err := json.Marshal(&req)
 	if err != nil {
@@ -152,6 +160,19 @@ type LoadReport struct {
 	LatencyMsP99  float64 `json:"latency_ms_p99"`
 	LatencyMsP999 float64 `json:"latency_ms_p999"`
 	LatencyMsMax  float64 `json:"latency_ms_max"`
+
+	// PeakMemSamples counts 200 responses whose body carried a
+	// memory.peak_memory_bytes figure (data-parallel plans always do); the
+	// percentiles below are over those samples. All zero when the mix never
+	// produced one (e.g. pipeline mode).
+	PeakMemSamples int `json:"peak_mem_samples,omitempty"`
+	// PeakMemBytes* is the distribution of the planned schedules'
+	// BFC-replayed fragmented peaks across the mix — the arena each planned
+	// job would actually need.
+	PeakMemBytesP50 int64 `json:"peak_mem_bytes_p50,omitempty"`
+	PeakMemBytesP90 int64 `json:"peak_mem_bytes_p90,omitempty"`
+	PeakMemBytesP99 int64 `json:"peak_mem_bytes_p99,omitempty"`
+	PeakMemBytesMax int64 `json:"peak_mem_bytes_max,omitempty"`
 }
 
 // RunLoad drives the closed loop: each client owns the request indices
@@ -173,6 +194,7 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 		outcome string
 		route   string
 		retries int
+		peakMem int64 // memory.peak_memory_bytes of a 200 body; -1 when absent
 		latency time.Duration
 		err     error
 	}
@@ -205,6 +227,7 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 					slots[i].status = resp.StatusCode
 					slots[i].outcome = resp.Header.Get(HeaderOutcome)
 					slots[i].route = resp.Header.Get("X-Shard-Route")
+					slots[i].peakMem = peakMemOf(resp)
 					resp.Body.Close()
 					lastErr = nil
 					break
@@ -236,6 +259,7 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 		Outcomes:     map[string]int{},
 	}
 	lats := make([]float64, 0, n)
+	peaks := make([]float64, 0, n)
 	for _, s := range slots {
 		rep.Retries += s.retries
 		if s.err != nil {
@@ -251,6 +275,9 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 				rep.Routes = map[string]int{}
 			}
 			rep.Routes[s.route]++
+		}
+		if s.peakMem >= 0 {
+			peaks = append(peaks, float64(s.peakMem))
 		}
 		lats = append(lats, float64(s.latency.Microseconds())/1000)
 	}
@@ -270,7 +297,34 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 		rep.LatencyMsP999 = percentile(lats, 0.999)
 		rep.LatencyMsMax = lats[len(lats)-1]
 	}
+	if len(peaks) > 0 {
+		sort.Float64s(peaks)
+		rep.PeakMemSamples = len(peaks)
+		rep.PeakMemBytesP50 = int64(percentile(peaks, 0.50))
+		rep.PeakMemBytesP90 = int64(percentile(peaks, 0.90))
+		rep.PeakMemBytesP99 = int64(percentile(peaks, 0.99))
+		rep.PeakMemBytesMax = int64(peaks[len(peaks)-1])
+	}
 	return rep, nil
+}
+
+// peakMemOf extracts memory.peak_memory_bytes from a plan response body, or
+// -1 when the body is not a 200 plan or carries no memory section. The body
+// is always drained so the connection can be reused.
+func peakMemOf(resp *http.Response) int64 {
+	defer io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return -1
+	}
+	var pr struct {
+		Memory *struct {
+			PeakMemoryBytes int64 `json:"peak_memory_bytes"`
+		} `json:"memory"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil || pr.Memory == nil {
+		return -1
+	}
+	return pr.Memory.PeakMemoryBytes
 }
 
 // percentile returns the nearest-rank percentile of sorted samples.

@@ -1,0 +1,110 @@
+package plansvc
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestLoadReportPeakMemory drives a small deterministic mix and checks that
+// the report carries the per-request peak-memory distribution: every 200
+// data-parallel plan reports memory.peak_memory_bytes, so the sample count
+// must equal the success count and the percentiles must be ordered and
+// positive.
+func TestLoadReportPeakMemory(t *testing.T) {
+	_, srv := newTestService(t, Options{})
+	rep, err := RunLoad(LoadSpec{
+		BaseURL:   srv.URL,
+		Clients:   2,
+		Requests:  12,
+		Models:    []string{"mobilenetv3-025", "rnn"},
+		GPUCounts: []int{4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StatusCounts["200"] != 12 {
+		t.Fatalf("status counts = %v, want 12 × 200", rep.StatusCounts)
+	}
+	if rep.PeakMemSamples != 12 {
+		t.Fatalf("PeakMemSamples = %d, want 12", rep.PeakMemSamples)
+	}
+	if rep.PeakMemBytesP50 <= 0 {
+		t.Fatalf("PeakMemBytesP50 = %d, want > 0", rep.PeakMemBytesP50)
+	}
+	if rep.PeakMemBytesP50 > rep.PeakMemBytesP90 ||
+		rep.PeakMemBytesP90 > rep.PeakMemBytesP99 ||
+		rep.PeakMemBytesP99 > rep.PeakMemBytesMax {
+		t.Fatalf("percentiles not ordered: p50=%d p90=%d p99=%d max=%d",
+			rep.PeakMemBytesP50, rep.PeakMemBytesP90, rep.PeakMemBytesP99, rep.PeakMemBytesMax)
+	}
+	// Two models × one GPU count → the max must match the larger model's
+	// peak, which a direct request reproduces exactly.
+	_, body := postPlan(t, srv, string(LoadSpec{
+		Models:    []string{"rnn"},
+		GPUCounts: []int{4},
+	}.RequestBody(0)))
+	var pr PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Memory == nil {
+		t.Fatal("direct plan has no memory stats")
+	}
+	if pr.Memory.PeakMemoryBytes != rep.PeakMemBytesMax &&
+		pr.Memory.PeakMemoryBytes != rep.PeakMemBytesP50 {
+		t.Fatalf("direct rnn peak %d matches neither loadgen p50 %d nor max %d",
+			pr.Memory.PeakMemoryBytes, rep.PeakMemBytesP50, rep.PeakMemBytesMax)
+	}
+}
+
+// TestLoadSpecObjectiveBudget checks that Objective and MaxMemoryBytes flow
+// into every request body, and that a memory-objective load succeeds with the
+// budget honored per request.
+func TestLoadSpecObjectiveBudget(t *testing.T) {
+	spec := LoadSpec{
+		Objective:      ObjectiveMemory,
+		MaxMemoryBytes: 1 << 40,
+		Models:         []string{"mobilenetv3-025"},
+		GPUCounts:      []int{4},
+	}
+	var req PlanRequest
+	if err := json.Unmarshal(spec.RequestBody(0), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Objective != ObjectiveMemory || req.MaxMemoryBytes != 1<<40 {
+		t.Fatalf("request body objective=%q budget=%d, want memory/%d",
+			req.Objective, req.MaxMemoryBytes, int64(1)<<40)
+	}
+
+	_, srv := newTestService(t, Options{})
+	spec.BaseURL = srv.URL
+	spec.Clients = 2
+	spec.Requests = 6
+	rep, err := RunLoad(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StatusCounts["200"] != 6 {
+		t.Fatalf("status counts = %v, want 6 × 200", rep.StatusCounts)
+	}
+	if rep.PeakMemSamples != 6 {
+		t.Fatalf("PeakMemSamples = %d, want 6", rep.PeakMemSamples)
+	}
+	if rep.PeakMemBytesMax > 1<<40 {
+		t.Fatalf("peak %d exceeds the requested budget", rep.PeakMemBytesMax)
+	}
+
+	// An unsatisfiable budget turns the whole mix into 400s and leaves the
+	// distribution empty rather than polluting it with zeros.
+	spec.MaxMemoryBytes = 1
+	rep, err = RunLoad(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StatusCounts["400"] != 6 {
+		t.Fatalf("status counts = %v, want 6 × 400", rep.StatusCounts)
+	}
+	if rep.PeakMemSamples != 0 || rep.PeakMemBytesMax != 0 {
+		t.Fatalf("error-only load reported peak-mem samples: %+v", rep)
+	}
+}

@@ -110,6 +110,18 @@ func (p *planner) planDataPar(sp *planSpec, resp *PlanResponse) error {
 			{Name: sp.Method, Prio: prio, Preemptive: preemptive},
 		},
 	}
+	resp.BaselineIterTimeNs = int64(base.Makespan)
+	resp.Baseline = sp.Method + " conventional order"
+	resp.Search = sp.Search
+
+	switch sp.Objective {
+	case ObjectiveMemory:
+		return p.planDataParMemory(sp, space, base.Makespan, resp)
+	case ObjectivePareto:
+		return p.planDataParPareto(sp, space, base.Makespan, resp)
+	}
+	resp.Objective = ObjectiveTime
+
 	r := plansearch.Search(space, searchModes[sp.Search], plansearch.Config{
 		Workers: p.searchWorkers,
 		Scratch: &p.scratch,
@@ -119,11 +131,9 @@ func (p *planner) planDataPar(sp *planSpec, resp *PlanResponse) error {
 	resp.K = r.Best.K
 	resp.Schedule = scheduleStrings(order)
 	resp.IterTimeNs = int64(r.Best.Makespan)
-	resp.BaselineIterTimeNs = int64(base.Makespan)
-	resp.Baseline = sp.Method + " conventional order"
 	resp.Speedup = speedup(base.Makespan, r.Best.Makespan)
 	resp.ThroughputSPS = core.Throughput(r.Best.Makespan, m.Batch*sp.GPUs)
-	resp.Search = sp.Search
+	resp.Memory = memoryStats(sp, plansearch.MemFootprint(m, order), "reverse-first-k")
 	st := &SearchStats{
 		Probes:          r.Probes,
 		Exhaustive:      r.Candidates,
@@ -141,6 +151,108 @@ func (p *planner) planDataPar(sp *planSpec, resp *PlanResponse) error {
 		})
 	}
 	resp.SearchStats = st
+	return nil
+}
+
+// memoryStats renders a schedule footprint into the response shape.
+func memoryStats(sp *planSpec, mem plansearch.MemStats, scheduler string) *MemoryStats {
+	return &MemoryStats{
+		PeakMemoryBytes:  mem.FragPeakBytes,
+		LogicalPeakBytes: mem.LogicalPeakBytes,
+		FragRatio:        mem.FragRatio,
+		Scheduler:        scheduler,
+		BudgetBytes:      sp.MaxMemoryBytes,
+	}
+}
+
+// pointScheduler names the schedule family of a sweep candidate.
+func pointScheduler(pt plansearch.MemPoint) string {
+	if pt.MemSched {
+		return "mem-list"
+	}
+	return "reverse-first-k"
+}
+
+// fillPlanFromPoint writes one sweep candidate as the response's headline
+// plan.
+func (p *planner) fillPlanFromPoint(sp *planSpec, space plansearch.Space, baseline time.Duration,
+	pt plansearch.MemPoint, resp *PlanResponse) {
+	m := space.Model
+	order := space.MemPointSchedule(pt)
+	resp.K = pt.K
+	resp.Schedule = scheduleStrings(order)
+	resp.IterTimeNs = int64(pt.Makespan)
+	resp.Speedup = speedup(baseline, pt.Makespan)
+	resp.ThroughputSPS = core.Throughput(pt.Makespan, m.Batch*sp.GPUs)
+	resp.Memory = memoryStats(sp, pt.Mem, pointScheduler(pt))
+}
+
+// planDataParMemory plans under objective=memory: the fastest schedule —
+// reverse first-k or the LESCEA memory list schedule — whose BFC-replayed
+// fragmented peak fits the budget. An unmeetable budget is a client error
+// naming the tightest budget the model can meet.
+func (p *planner) planDataParMemory(sp *planSpec, space plansearch.Space, baseline time.Duration, resp *PlanResponse) error {
+	r := plansearch.MemorySearch(space, sp.MaxMemoryBytes, plansearch.Config{
+		Workers: p.searchWorkers,
+		Scratch: &p.scratch,
+	})
+	if !r.Feasible {
+		return invalidf("max_memory_bytes",
+			"budget %d bytes is below the tightest schedule this model can meet (%d bytes)",
+			sp.MaxMemoryBytes, r.MinFragPeakBytes)
+	}
+	resp.Objective = ObjectiveMemory
+	p.fillPlanFromPoint(sp, space, baseline, r.Best, resp)
+	resp.SearchStats = &SearchStats{
+		Probes:          r.Probes,
+		Exhaustive:      r.Candidates,
+		CutoffProven:    true,
+		RankCorrelation: 1,
+	}
+	return nil
+}
+
+// planDataParPareto plans under objective=pareto: the full joint frontier in
+// the response, with the headline plan the fastest point that fits the
+// budget (or the time optimum when no budget is set).
+func (p *planner) planDataParPareto(sp *planSpec, space plansearch.Space, baseline time.Duration, resp *PlanResponse) error {
+	r := plansearch.ParetoSweep(space, plansearch.Config{
+		Workers: p.searchWorkers,
+		Scratch: &p.scratch,
+	})
+	// The frontier is makespan-ascending with strictly decreasing memory, so
+	// the first fitting point is the fastest feasible one.
+	head := -1
+	for i, pt := range r.Frontier {
+		if sp.MaxMemoryBytes <= 0 || pt.Mem.FragPeakBytes <= sp.MaxMemoryBytes {
+			head = i
+			break
+		}
+	}
+	if head < 0 {
+		tail := r.Frontier[len(r.Frontier)-1]
+		return invalidf("max_memory_bytes",
+			"budget %d bytes is below the tightest schedule this model can meet (%d bytes)",
+			sp.MaxMemoryBytes, tail.Mem.FragPeakBytes)
+	}
+	resp.Objective = ObjectivePareto
+	p.fillPlanFromPoint(sp, space, baseline, r.Frontier[head], resp)
+	for _, pt := range r.Frontier {
+		resp.Pareto = append(resp.Pareto, ParetoPoint{
+			K:                pt.K,
+			MemSched:         pt.MemSched,
+			IterTimeNs:       int64(pt.Makespan),
+			PeakMemoryBytes:  pt.Mem.FragPeakBytes,
+			LogicalPeakBytes: pt.Mem.LogicalPeakBytes,
+			FragRatio:        pt.Mem.FragRatio,
+		})
+	}
+	resp.SearchStats = &SearchStats{
+		Probes:          r.Probes,
+		Exhaustive:      r.Probes,
+		CutoffProven:    true,
+		RankCorrelation: 1,
+	}
 	return nil
 }
 

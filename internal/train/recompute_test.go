@@ -1,0 +1,139 @@
+package train
+
+import (
+	"math/rand"
+	"testing"
+
+	"oooback/internal/data"
+	"oooback/internal/graph"
+	"oooback/internal/nn"
+	"oooback/internal/tensor"
+)
+
+// TestStepRecomputeBitwiseIdentity: checkpointed steps must produce the same
+// loss, gradients and post-step parameters as train.Step, bit for bit, across
+// models × schedules × checkpoint intervals.
+func TestStepRecomputeBitwiseIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, tc := range execCases() {
+		ref := tc.build()
+		L := len(ref.Layers)
+		for _, sched := range caseSchedules(L, rng) {
+			for _, every := range []int{1, 2, 3, L} {
+				refNet := tc.build()
+				refLoss, err := Step(refNet, tc.x, tc.labels, sched, &nn.SGD{LR: 0.05})
+				if err != nil {
+					t.Fatalf("%s: reference step: %v", tc.name, err)
+				}
+
+				net := tc.build()
+				loss, stats, err := (*Executor)(nil).StepRecompute(
+					net, tc.x, tc.labels, sched, every, &nn.SGD{LR: 0.05})
+				if err != nil {
+					t.Fatalf("%s every=%d: %v", tc.name, every, err)
+				}
+				if loss != refLoss {
+					t.Fatalf("%s every=%d: loss %v, reference %v", tc.name, every, loss, refLoss)
+				}
+				if !SnapshotsEqual(GradSnapshot(net), GradSnapshot(refNet)) {
+					t.Fatalf("%s every=%d sched=%v: gradients differ from serial reference", tc.name, every, sched[:3])
+				}
+				if !SnapshotsEqual(ParamSnapshot(net), ParamSnapshot(refNet)) {
+					t.Fatalf("%s every=%d: post-step parameters differ", tc.name, every)
+				}
+				if every > 1 && stats.RecomputedLayers == 0 && L > every {
+					t.Fatalf("%s every=%d: no recompute happened on an %d-layer net", tc.name, every, L)
+				}
+			}
+		}
+	}
+}
+
+// TestStepRecomputeReducesPeak: on a deep MLP, checkpointing must cut the
+// ledger's peak live bytes versus full retention, under the conventional
+// order and a moderate reverse first-k deferral. (Full δW deferral is
+// excluded on purpose: an activation lives until its δW runs, so deferring
+// every δW keeps every re-materialized segment resident and negates
+// checkpointing — the §6 tension graph.MemoryProfileRecompute models.)
+func TestStepRecomputeReducesPeak(t *testing.T) {
+	x, y := data.Vectors(9, 24, 32, 4)
+	build := func() *Network { return MLPNet(19, 32, 64, 8, 4) }
+	L := len(build().Layers)
+	for _, sched := range []graph.BackwardSchedule{
+		graph.Conventional(L),
+		graph.ReverseFirstK(L, 4),
+	} {
+		_, full, err := (*Executor)(nil).StepRecompute(build(), x, y, sched, 1, &nn.SGD{LR: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ckpt, err := (*Executor)(nil).StepRecompute(build(), x, y, sched, 4, &nn.SGD{LR: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ckpt.PeakLiveBytes >= full.PeakLiveBytes {
+			t.Errorf("every=4 peak %d not below full retention's %d", ckpt.PeakLiveBytes, full.PeakLiveBytes)
+		}
+		if ckpt.CheckpointBytes >= full.CheckpointBytes {
+			t.Errorf("every=4 checkpoint set %d not below full retention's %d",
+				ckpt.CheckpointBytes, full.CheckpointBytes)
+		}
+		if ckpt.RecomputedLayers == 0 || ckpt.RecomputeShare <= 0 {
+			t.Errorf("every=4 reported no recompute (%+v)", ckpt)
+		}
+		if full.RecomputedLayers != 0 {
+			t.Errorf("full retention recomputed %d layers", full.RecomputedLayers)
+		}
+	}
+}
+
+// TestStepRecomputeSerialExecutor: an explicit serial executor takes the same
+// path as the nil executor.
+func TestStepRecomputeSerialExecutor(t *testing.T) {
+	x, y := data.Vectors(3, 12, 16, 3)
+	sched := graph.Conventional(7)
+	refNet := MLPNet(11, 16, 24, 3, 3)
+	refLoss, err := Step(refNet, x, y, sched, &nn.SGD{LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(ExecSerial, 0)
+	net := MLPNet(11, 16, 24, 3, 3)
+	loss, _, err := e.StepRecompute(net, x, y, sched, 3, &nn.SGD{LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != refLoss || !SnapshotsEqual(GradSnapshot(net), GradSnapshot(refNet)) {
+		t.Fatal("serial executor recompute step differs from reference")
+	}
+}
+
+// TestStepRecomputeRejections: the concurrent engine and non-replayable
+// layers (Dropout draws fresh RNG values each Forward) are rejected.
+func TestStepRecomputeRejections(t *testing.T) {
+	x, y := data.Vectors(3, 12, 16, 3)
+	net := MLPNet(11, 16, 24, 3, 3)
+	sched := graph.Conventional(len(net.Layers))
+
+	e := NewExecutor(ExecConcurrent, 2)
+	defer e.Close()
+	if _, _, err := e.StepRecompute(net, x, y, sched, 2, &nn.SGD{LR: 0.05}); err == nil {
+		t.Fatal("concurrent executor accepted a recompute step")
+	}
+
+	rng := tensor.NewRNG(5)
+	dropNet := &Network{Layers: []nn.Layer{
+		nn.NewDense("fc1", 16, 8, rng),
+		nn.NewDropout("drop", 0.3, rng),
+		nn.NewDense("fc2", 8, 3, rng),
+	}}
+	_, _, err := (*Executor)(nil).StepRecompute(dropNet, x, y, graph.Conventional(3), 2, &nn.SGD{LR: 0.05})
+	if err == nil {
+		t.Fatal("dropout network accepted for recompute")
+	}
+
+	// every ≤ 1 is full retention: Dropout is fine there.
+	if _, _, err := (*Executor)(nil).StepRecompute(dropNet, x, y, graph.Conventional(3), 1, &nn.SGD{LR: 0.05}); err != nil {
+		t.Fatalf("full-retention step rejected: %v", err)
+	}
+}
